@@ -1,0 +1,116 @@
+"""Ablation: typed quorum assignment vs read/write classification.
+
+Section 2 of the paper argues that models capturing operations only as
+reads or writes (Gifford's weighted voting, Bernstein–Goodman)
+"unnecessarily restrict availability and concurrency".  This benchmark
+quantifies that claim with threshold-assignment searches under
+
+* the **typed** dependency relation (the kernel's), versus
+* the **read/write** classification: every mutator is a Write, every
+  observer a Read, with the classical constraints r + w > n and 2w > n.
+
+Expected shape:
+
+* **PROM** (the paper's own example) — under the typed hybrid relation,
+  Write runs with single-site quorums; under the r/w classification
+  writes need majorities, so a write-heavy workload loses availability;
+* **Queue** — both Enq and Deq are read-modify-write, so the FIFO
+  coupling leaves the r/w classification no worse at the balanced
+  optimum: the typed advantage is type-specific, not universal (which is
+  precisely the paper's "type-specific properties of the data" point).
+"""
+
+from conftest import report
+
+from repro.dependency import known
+from repro.dependency.relation import DependencyRelation, SchemaPair
+from repro.dependency.static_dep import minimal_static_dependency
+from repro.quorum.search import best_threshold_assignment
+from repro.spec.enumerate import event_alphabet
+from repro.types import PROM, Queue
+
+
+def _read_write_relation(datatype, reads, writes, depth=4):
+    """The Gifford-style constraints as a dependency relation."""
+    schemas = []
+    for read in reads:
+        for write in writes:
+            schemas.append(SchemaPair(read, write, None))   # r ∩ w
+    for first in writes:
+        for second in writes:
+            schemas.append(SchemaPair(first, second, None))  # w ∩ w
+    events = event_alphabet(datatype, depth)
+    return DependencyRelation.from_schemas(
+        schemas, datatype.invocations(), events
+    )
+
+
+def test_ablation_prom(benchmark):
+    prom = PROM()
+    typed = known.ground(prom, known.PROM_HYBRID, 5)
+    rw = _read_write_relation(prom, reads=("Read",), writes=("Write", "Seal"))
+    operations = ("Read", "Seal", "Write")
+    weights = {"Read": 4.0, "Write": 4.0, "Seal": 0.2}
+    n_sites, p_up = 5, 0.9
+
+    def run():
+        return (
+            best_threshold_assignment(typed, n_sites, operations, p_up, weights),
+            best_threshold_assignment(rw, n_sites, operations, p_up, weights),
+        )
+
+    (typed_choice, typed_score), (rw_choice, rw_score) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert typed_score > rw_score
+    lines = [
+        "PROM, n = 5, p = 0.9, read/write-heavy workload (4:4:0.2):",
+        "",
+        f"typed (hybrid) quorum assignment (score {typed_score:.4f}):",
+        f"  {typed_choice.describe()}",
+        f"read/write classification        (score {rw_score:.4f}):",
+        f"  {rw_choice.describe()}",
+        "",
+        f"typed advantage: {typed_score - rw_score:+.4f} weighted availability",
+        "",
+        "The r/w view forces Write quorums to intersect each other and all",
+        "Reads; the typed hybrid relation lets Writes run at single sites.",
+    ]
+    report("ablation_prom", "\n".join(lines))
+
+
+def test_ablation_queue(benchmark):
+    queue = Queue()
+    typed = minimal_static_dependency(queue, 4)
+    rw = _read_write_relation(queue, reads=(), writes=("Enq", "Deq"))
+    weights = {"Enq": 8.0, "Deq": 1.0}
+
+    def run():
+        return (
+            best_threshold_assignment(typed, 5, ("Deq", "Enq"), 0.9, weights),
+            best_threshold_assignment(rw, 5, ("Deq", "Enq"), 0.9, weights),
+        )
+
+    (typed_choice, typed_score), (rw_choice, rw_score) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    # Typed can never lose, but the FIFO discipline couples Enq and Deq
+    # tightly enough that it does not win either: parity is the honest
+    # result for this type.
+    assert typed_score >= rw_score
+    lines = [
+        "Queue, n = 5, p = 0.9, enqueue-heavy workload (8:1):",
+        "(both Enq and Deq are read-modify-write under the r/w view)",
+        "",
+        f"typed quorum assignment   (score {typed_score:.4f}):",
+        f"  {typed_choice.describe()}",
+        f"read/write classification (score {rw_score:.4f}):",
+        f"  {rw_choice.describe()}",
+        "",
+        f"typed advantage: {typed_score - rw_score:+.4f}",
+        "",
+        "The typed advantage is type-specific: the Queue's FIFO coupling",
+        "yields parity, while the PROM's write-before-seal structure yields",
+        "single-site Writes (see ablation_prom).",
+    ]
+    report("ablation_queue", "\n".join(lines))

@@ -1,0 +1,34 @@
+"""Figure 1-1 — the concurrency relations among the three properties.
+
+Regenerates the paper's concurrency lattice by exhaustively classifying
+every bounded behavioral history of the Queue (the paper's running
+example) under static, hybrid, and strong dynamic atomicity:
+
+* hybrid permits strictly more concurrency than strong dynamic;
+* static is incomparable to hybrid and to dynamic.
+"""
+
+from conftest import report
+
+from repro.atomicity.compare import compare_concurrency
+from repro.atomicity.explore import ExplorationBounds
+from repro.core.report import figure_1_1
+from repro.types import Queue
+
+
+def _classify():
+    return compare_concurrency(
+        Queue(), ExplorationBounds(max_ops=3, max_actions=2)
+    )
+
+
+def test_fig_1_1_concurrency_lattice(benchmark):
+    comparison = benchmark.pedantic(_classify, rounds=1, iterations=1)
+
+    # The relations of Figure 1-1, as containments of admitted sets.
+    assert comparison.contains("dynamic", "hybrid")
+    assert not comparison.contains("hybrid", "dynamic")
+    assert comparison.incomparable("static", "hybrid")
+    assert comparison.incomparable("static", "dynamic")
+
+    report("fig_1_1_concurrency", figure_1_1(comparison))

@@ -1,0 +1,42 @@
+"""Figure 1-2 — the availability (quorum-constraint) relations.
+
+Regenerates the paper's second lattice: the machine-checked theorem
+battery (Theorems 4, 5, 6, 10, 11, 12 and the FlagSet example) plus the
+dependency-relation comparison for the Queue, rendered as the paper's
+figure.  The paper's claims:
+
+* any quorum assignment supporting full static atomicity supports full
+  hybrid atomicity, not vice versa;
+* strong dynamic constraints are incomparable to both.
+"""
+
+from conftest import report
+
+from repro.core.compare import compare_dependencies
+from repro.core.report import figure_1_2
+from repro.core.theorems import verify_all_theorems
+from repro.dependency import known
+from repro.types import Queue
+
+
+def test_fig_1_2_theorem_battery(benchmark):
+    results = benchmark.pedantic(verify_all_theorems, rounds=1, iterations=1)
+    assert all(result.holds for result in results)
+    report(
+        "fig_1_2_theorems",
+        "\n\n".join(result.summary() for result in results),
+    )
+
+
+def test_fig_1_2_dependency_lattice(benchmark):
+    queue = Queue()
+    hybrid = known.ground(queue, known.QUEUE_STATIC, 5)  # hybrid-valid by Thm 4
+
+    def compare():
+        return compare_dependencies(queue, bound=4, hybrid=hybrid)
+
+    comparison = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert comparison.static_contains_hybrid()
+    assert comparison.static_dynamic_incomparable()
+    assert comparison.hybrid_dynamic_incomparable()
+    report("fig_1_2_availability", figure_1_2(comparison))

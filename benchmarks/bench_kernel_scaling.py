@@ -1,0 +1,125 @@
+"""Kernel performance: timed micro-benchmarks of the hot paths.
+
+Unlike the figure benchmarks (single-shot regenerations), these use
+pytest-benchmark's timed rounds to characterize the kernel itself:
+legality replay through the memoized trie, atomicity-membership
+checking, the Theorem 6 and Theorem 10 searches, and Definition-2
+verification.  Useful for catching performance regressions in the
+machinery every other experiment stands on.
+"""
+
+from repro.atomicity.explore import ExplorationBounds
+from repro.atomicity.properties import HybridAtomicity, StaticAtomicity
+from repro.dependency import known
+from repro.dependency.dynamic_dep import minimal_dynamic_dependency
+from repro.dependency.static_dep import minimal_static_dependency
+from repro.dependency.verify import (
+    VerificationArena,
+    VerificationBounds,
+    find_counterexample,
+)
+from repro.histories.behavioral import Begin, BehavioralHistory, Commit, Op
+from repro.histories.events import event, ok
+from repro.spec.enumerate import legal_serial_histories
+from repro.spec.legality import LegalityOracle
+from repro.types import Queue, Register
+
+
+def test_legality_replay_cold(benchmark):
+    """Replay a 12-event serial history against a fresh oracle."""
+    queue = Queue()
+    history = (
+        event("Enq", ("a",)),
+        event("Enq", ("b",)),
+        event("Deq", (), ok("a")),
+        event("Enq", ("a",)),
+        event("Deq", (), ok("b")),
+        event("Deq", (), ok("a")),
+    ) * 2
+
+    def replay():
+        return LegalityOracle(queue).is_legal(history)
+
+    assert benchmark(replay)
+
+
+def test_legality_replay_memoized(benchmark):
+    """The same replay against a warm trie (the searches' common case)."""
+    queue = Queue()
+    oracle = LegalityOracle(queue)
+    history = (
+        event("Enq", ("a",)),
+        event("Enq", ("b",)),
+        event("Deq", (), ok("a")),
+        event("Deq", (), ok("b")),
+    ) * 3
+    oracle.is_legal(history)
+    assert benchmark(lambda: oracle.is_legal(history))
+
+
+def test_serial_history_enumeration(benchmark):
+    queue = Queue()
+
+    def enumerate_all():
+        return sum(1 for _ in legal_serial_histories(queue, 4))
+
+    count = benchmark(enumerate_all)
+    assert count > 100
+
+
+def test_hybrid_membership_check(benchmark):
+    queue = Queue()
+    oracle = LegalityOracle(queue)
+    history = BehavioralHistory.build(
+        Begin("A"),
+        Begin("B"),
+        Begin("C"),
+        Op(event("Enq", ("a",)), "A"),
+        Op(event("Enq", ("b",)), "B"),
+        Commit("A"),
+        Op(event("Deq", (), ok("a")), "C"),
+        Commit("C"),
+        Commit("B"),
+    )
+
+    def check():
+        prop = HybridAtomicity(queue, oracle)  # fresh cache each round
+        return prop.admits(history)
+
+    assert benchmark(check)
+
+
+def test_theorem6_search(benchmark):
+    queue = Queue()
+
+    def search():
+        return minimal_static_dependency(queue, 3)
+
+    relation = benchmark(search)
+    assert len(relation) > 0
+
+
+def test_theorem10_search(benchmark):
+    queue = Queue()
+
+    def search():
+        return minimal_dynamic_dependency(queue, 3)
+
+    relation = benchmark(search)
+    assert len(relation) > 0
+
+
+def test_definition2_verification(benchmark):
+    register = Register(items=("x",))
+    oracle = LegalityOracle(register)
+    prop = StaticAtomicity(register, oracle)
+    arena = VerificationArena(
+        prop,
+        VerificationBounds(ExplorationBounds(max_ops=2, max_actions=2)),
+    )
+    relation = minimal_static_dependency(register, 3, oracle)
+
+    def verify():
+        return find_counterexample(relation, arena)
+
+    assert benchmark(verify) is None

@@ -1,0 +1,54 @@
+"""Queue dependency relations (Theorems 6, 10, 11).
+
+Regenerates the relations the paper lists for the FIFO Queue:
+
+* the unique minimal static dependency relation (four schema pairs);
+* the unique minimal dynamic dependency relation, which adds
+  ``Enq(x) ≥D Enq(y);Ok()`` and drops ``Enq ≥ Deq;Ok`` — making the two
+  incomparable (Theorem 11's incomparability, Figure 1-2).
+"""
+
+from conftest import report
+
+from repro.dependency import known
+from repro.dependency.dynamic_dep import minimal_dynamic_dependency
+from repro.dependency.static_dep import minimal_static_dependency
+from repro.spec.legality import LegalityOracle
+from repro.types import Queue
+
+
+def test_queue_minimal_static_relation(benchmark):
+    queue = Queue()
+    oracle = LegalityOracle(queue)
+    relation = benchmark.pedantic(
+        lambda: minimal_static_dependency(queue, 4, oracle), rounds=1, iterations=1
+    )
+    assert relation == known.ground(queue, known.QUEUE_STATIC, 6, oracle)
+    report(
+        "queue_static_relation",
+        "Minimal static dependency relation for Queue (Theorem 6 search, "
+        "bound 4):\n" + relation.describe(),
+    )
+
+
+def test_queue_minimal_dynamic_relation(benchmark):
+    queue = Queue()
+    oracle = LegalityOracle(queue)
+    relation = benchmark.pedantic(
+        lambda: minimal_dynamic_dependency(queue, 4, oracle), rounds=1, iterations=1
+    )
+    assert relation == known.ground(queue, known.QUEUE_DYNAMIC, 6, oracle)
+
+    static = minimal_static_dependency(queue, 4, oracle)
+    extra = relation.difference(static)
+    missing = static.difference(relation)
+    assert extra and missing  # incomparable, as Figure 1-2 shows
+    report(
+        "queue_dynamic_relation",
+        "Minimal dynamic dependency relation for Queue (Theorem 10, bound 4):\n"
+        + relation.describe()
+        + "\n\nadded vs static (Theorem 11's Enq ≥ Enq):\n"
+        + extra.describe()
+        + "\n\ndropped vs static:\n"
+        + missing.describe(),
+    )

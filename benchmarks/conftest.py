@@ -1,0 +1,21 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's figures/examples and
+emits its rows both to stdout (visible with ``pytest -s``) and to
+``benchmarks/results/<name>.txt`` so the EXPERIMENTS.md numbers can be
+traced to a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,56 @@
+"""Availability explorer: the paper's PROM example, interactively.
+
+For a PROM replicated among n identical sites, computes the minimal
+dependency relations under hybrid and static atomicity and the Pareto
+frontier of valid threshold quorum assignments under each — reproducing
+the paper's Section 4 conclusion that hybrid atomicity permits
+Read/Seal/Write quorums of 1/n/1 where static atomicity forces 1/n/n.
+
+Run:  python examples/availability_explorer.py [n_sites] [p_up]
+"""
+
+import sys
+
+from repro.dependency import known
+from repro.quorum.search import threshold_frontier
+from repro.types import PROM
+
+
+def main(n_sites: int = 5, p_up: float = 0.9) -> None:
+    prom = PROM()
+    hybrid = known.ground(prom, known.PROM_HYBRID, depth=5)
+    static = known.ground(prom, known.PROM_STATIC, depth=5)
+    operations = ("Read", "Seal", "Write")
+
+    print(f"PROM replicated among {n_sites} identical sites, p(site up) = {p_up}")
+    print()
+    print("hybrid dependency relation (Section 4):")
+    for schema in hybrid.schema_pairs():
+        print(f"   {schema}")
+    print()
+    print("static atomicity adds (Theorem 6):")
+    for schema in static.difference(hybrid).schema_pairs():
+        print(f"   {schema}")
+
+    for name, relation in (("HYBRID", hybrid), ("STATIC", static)):
+        print()
+        print(f"{name} — Pareto frontier of valid threshold assignments:")
+        for choice, vector in threshold_frontier(
+            relation, n_sites, operations, p_up
+        ):
+            availabilities = "  ".join(f"{op}={av:.4f}" for op, av in vector)
+            print(f"   {choice.describe()}")
+            print(f"      availability: {availabilities}")
+
+    print()
+    print(
+        "Note the hybrid frontier's read-optimal point: Read and Write both\n"
+        "execute at a single site (the paper's 1/n/1), while under static\n"
+        "atomicity single-site Reads force Write quorums of all n sites."
+    )
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    p = float(sys.argv[2]) if len(sys.argv) > 2 else 0.9
+    main(n, p)

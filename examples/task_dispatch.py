@@ -1,0 +1,75 @@
+"""A replicated task dispatcher: specification strength as a design dial.
+
+Two dispatch queues with identical workloads but different serial
+specifications:
+
+* a strict FIFO ``Queue`` — clients must receive tasks in submission
+  order;
+* a ``SemiQueue`` — clients may receive *any* pending task (most real
+  dispatchers need no more).
+
+The weaker specification has a strictly smaller dynamic dependency
+relation (enqueues commute), so under the locking scheme the SemiQueue
+dispatcher admits concurrent submitters that the FIFO dispatcher must
+serialize — the specification-weakening lever, measured live.
+
+Run:  python examples/task_dispatch.py
+"""
+
+from repro.dependency.dynamic_dep import minimal_dynamic_dependency
+from repro.replication.cluster import build_cluster
+from repro.sim.workload import OperationMix, WorkloadGenerator
+from repro.types import Queue, SemiQueue
+
+
+def run_dispatcher(datatype, seed: int = 21, transactions: int = 60):
+    cluster = build_cluster(n_sites=3, seed=seed)
+    cluster.add_object("tasks", datatype, scheme="dynamic")
+    mix = OperationMix.uniform("tasks", datatype.invocations())
+    generator = WorkloadGenerator(
+        cluster.sim,
+        cluster.tm,
+        cluster.frontends,
+        mix,
+        ops_per_transaction=2,
+        concurrency=4,
+        deadlock_policy="wound-wait",
+    )
+    return generator.run(transactions)
+
+
+def main() -> None:
+    fifo, weak = Queue(), SemiQueue()
+
+    print("dynamic dependency relations (Theorem 10):")
+    for datatype in (fifo, weak):
+        relation = minimal_dynamic_dependency(datatype, 3)
+        print(f"\n  {datatype.name}:")
+        for schema in relation.schema_pairs():
+            print(f"    {schema}")
+
+    print("\nsame workload, 3 sites, commutativity locking, 60 transactions:\n")
+    results = {}
+    for datatype in (fifo, weak):
+        metrics = run_dispatcher(datatype)
+        results[datatype.name] = metrics
+        print(f"--- {datatype.name} dispatcher ---")
+        print(metrics.table())
+        print()
+
+    fifo_conflicts = results["Queue"].conflict_rate("Enq")
+    weak_conflicts = results["SemiQueue"].conflict_rate("Enq")
+    print(
+        f"submit-conflict rate: FIFO {100 * fifo_conflicts:.1f}% vs "
+        f"SemiQueue {100 * weak_conflicts:.1f}%"
+    )
+    assert weak_conflicts < fifo_conflicts
+    print(
+        "\nWeakening Deq from 'the oldest task' to 'any task' removed the\n"
+        "Enq/Enq conflict — and (see repro.core.catalog) the corresponding\n"
+        "quorum-intersection constraints with it."
+    )
+
+
+if __name__ == "__main__":
+    main()

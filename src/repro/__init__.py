@@ -1,0 +1,54 @@
+"""repro — Comparing How Atomicity Mechanisms Support Replication.
+
+A full reproduction of Herlihy's PODC 1985 analysis: an executable
+theory kernel (histories, serial specifications, the three local
+atomicity properties, atomic dependency relations and their minimal
+characterizations) together with a working quorum-consensus replication
+system (repositories, front-ends, timestamped logs, the three
+concurrency-control schemes, a deterministic failure-injecting
+simulator) and the quorum/availability mathematics connecting the two.
+
+Typical entry points:
+
+* theory: :mod:`repro.types`, :mod:`repro.atomicity`,
+  :mod:`repro.dependency`, :mod:`repro.core.theorems`;
+* quorum math: :mod:`repro.quorum`;
+* the running system: :mod:`repro.replication.cluster`,
+  :mod:`repro.sim.workload`.
+"""
+
+from repro.histories.events import Event, Invocation, Response, event, ok, signal
+from repro.histories.behavioral import BehavioralHistory
+from repro.spec.datatype import SerialDataType
+from repro.spec.legality import LegalityOracle
+from repro.dependency.relation import DependencyRelation, SchemaPair
+from repro.atomicity.properties import (
+    DynamicAtomicity,
+    HybridAtomicity,
+    StaticAtomicity,
+)
+from repro.quorum.assignment import QuorumAssignment
+from repro.replication.cluster import Cluster, build_cluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Event",
+    "Invocation",
+    "Response",
+    "event",
+    "ok",
+    "signal",
+    "BehavioralHistory",
+    "SerialDataType",
+    "LegalityOracle",
+    "DependencyRelation",
+    "SchemaPair",
+    "StaticAtomicity",
+    "HybridAtomicity",
+    "DynamicAtomicity",
+    "QuorumAssignment",
+    "Cluster",
+    "build_cluster",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""``python -m repro`` — print the full reproduction report."""
+
+from repro.core.paper import paper_report
+
+
+def main() -> None:
+    print(paper_report())
+
+
+if __name__ == "__main__":
+    main()

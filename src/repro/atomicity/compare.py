@@ -1,0 +1,110 @@
+"""The concurrency comparison of Figure 1-1.
+
+Figure 1-1 orders the three local atomicity properties by the level of
+concurrency they permit — i.e. by containment of their behavioral
+specifications:
+
+* hybrid atomicity permits strictly more concurrency than strong dynamic
+  atomicity (``Dynamic(T) ⊆ Hybrid(T)``, strictly for nontrivial types);
+* hybrid and static atomicity are incomparable;
+* static and strong dynamic atomicity are incomparable.
+
+:func:`compare_concurrency` verifies these relations for a concrete data
+type by exhaustive enumeration up to a bound, recording a witness history
+for every non-containment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.atomicity.explore import ExplorationBounds, multi_property_histories
+from repro.atomicity.properties import (
+    DynamicAtomicity,
+    HybridAtomicity,
+    LocalAtomicityProperty,
+    StaticAtomicity,
+)
+from repro.histories.behavioral import BehavioralHistory
+from repro.spec.datatype import SerialDataType
+from repro.spec.legality import LegalityOracle
+
+
+@dataclass
+class ConcurrencyComparison:
+    """The outcome of classifying a bounded history universe.
+
+    ``admitted[p]`` counts histories admitted by property ``p``;
+    ``non_containment_witnesses[(p, q)]`` holds a history admitted by
+    ``p`` but not by ``q`` when one exists within the bound (so
+    ``(p, q) in non_containment_witnesses`` refutes ``p ⊆ q``).
+    """
+
+    datatype: str
+    bounds: ExplorationBounds
+    universe_size: int = 0
+    admitted: dict[str, int] = field(default_factory=dict)
+    non_containment_witnesses: dict[tuple[str, str], BehavioralHistory] = field(
+        default_factory=dict
+    )
+
+    def contains(self, first: str, second: str) -> bool:
+        """Whether every enumerated history admitted by ``first`` was admitted by ``second``."""
+        return (first, second) not in self.non_containment_witnesses
+
+    def incomparable(self, first: str, second: str) -> bool:
+        """Whether each property admits a history the other rejects (within bound)."""
+        return not self.contains(first, second) and not self.contains(second, first)
+
+    def summary(self) -> str:
+        lines = [
+            f"Concurrency comparison for {self.datatype} "
+            f"(≤{self.bounds.max_ops} ops, ≤{self.bounds.max_actions} actions):",
+            f"  histories in union universe: {self.universe_size}",
+        ]
+        for name, count in sorted(self.admitted.items()):
+            lines.append(f"  admitted by {name:>8}: {count}")
+        names = sorted(self.admitted)
+        for first in names:
+            for second in names:
+                if first != second:
+                    relation = "⊆" if self.contains(first, second) else "⊄"
+                    lines.append(f"  {first:>8} {relation} {second}")
+        return "\n".join(lines)
+
+
+def compare_concurrency(
+    datatype: SerialDataType,
+    bounds: ExplorationBounds | None = None,
+    properties: Sequence[LocalAtomicityProperty] | None = None,
+) -> ConcurrencyComparison:
+    """Classify the bounded behavioral-history universe of ``datatype``.
+
+    Enumerates every history admitted by at least one property and
+    records per-property admission counts and non-containment witnesses.
+    The defaults compare static, hybrid, and dynamic atomicity.
+    """
+    bounds = bounds or ExplorationBounds()
+    if properties is None:
+        oracle = LegalityOracle(datatype)
+        properties = (
+            StaticAtomicity(datatype, oracle),
+            HybridAtomicity(datatype, oracle),
+            DynamicAtomicity(datatype, oracle),
+        )
+    result = ConcurrencyComparison(datatype=datatype.name, bounds=bounds)
+    names = [prop.name for prop in properties]
+    counts = {name: 0 for name in names}
+    for history, flags in multi_property_histories(list(properties), bounds):
+        result.universe_size += 1
+        for name, admitted in zip(names, flags):
+            if admitted:
+                counts[name] += 1
+        for i, first in enumerate(names):
+            for j, second in enumerate(names):
+                if i == j or not flags[i] or flags[j]:
+                    continue
+                result.non_containment_witnesses.setdefault((first, second), history)
+    result.admitted = counts
+    return result

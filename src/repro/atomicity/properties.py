@@ -1,0 +1,167 @@
+"""Membership checkers for ``Static(T)``, ``Hybrid(T)``, and ``Dynamic(T)``.
+
+For a serial specification ``T``, the paper works with the largest
+prefix-closed, *on-line* behavioral specification that is static
+(respectively hybrid, strong dynamic) atomic.  Membership of a behavioral
+history ``H`` in such a specification reduces to:
+
+    for every prefix ``P`` of ``H`` and every way of committing a subset
+    of ``P``'s active actions, the resulting history satisfies the bare
+    property.
+
+The subset-committing step is exactly what the paper calls a *static*
+(resp. *hybrid*, *dynamic*) *serialization* of ``P``, so the checkers
+below iterate those serializations (see
+:mod:`repro.histories.serialization`) and test legality — plus, for
+strong dynamic atomicity (Definition 7), mutual equivalence of all
+serializations arising from the same committed set.
+
+Checkers memoize results per history, and exploit prefix closure: a
+history is admitted iff its longest proper prefix is admitted and the
+full history passes the property check.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from itertools import permutations
+
+from repro.histories.behavioral import BehavioralHistory
+from repro.histories.events import SerialHistory
+from repro.histories.serialization import (
+    action_subsets,
+    dynamic_serializations,
+    hybrid_serializations,
+    precedes_pairs,
+    relevant_active,
+    serialize,
+    static_serializations,
+    linear_extensions,
+)
+from repro.spec.datatype import SerialDataType
+from repro.spec.legality import LegalityOracle
+
+
+class LocalAtomicityProperty(ABC):
+    """A local atomicity property, bound to one data type.
+
+    Instances answer ``admits(H)``: is ``H`` a member of the largest
+    prefix-closed on-line behavioral specification for the property?
+    """
+
+    #: Short name used in reports ("static", "hybrid", "dynamic").
+    name: str = "abstract"
+    #: Whether membership depends on the order of Begin events.  When it
+    #: does, action labels are *not* interchangeable (their begin
+    #: positions differ), so enumeration symmetry reductions that assume
+    #: relabeling-invariance must be disabled.
+    begin_order_sensitive: bool = False
+
+    def __init__(self, datatype: SerialDataType, oracle: LegalityOracle | None = None):
+        self._dt = datatype
+        self.oracle = oracle or LegalityOracle(datatype)
+        self._cache: dict[BehavioralHistory, bool] = {}
+
+    @property
+    def datatype(self) -> SerialDataType:
+        return self._dt
+
+    @abstractmethod
+    def check_history(self, history: BehavioralHistory) -> bool:
+        """Does ``history`` itself (not its prefixes) satisfy the property?"""
+
+    def admits(self, history: BehavioralHistory) -> bool:
+        """Membership in the largest prefix-closed on-line specification."""
+        cached = self._cache.get(history)
+        if cached is not None:
+            return cached
+        if len(history) == 0:
+            result = True
+        else:
+            result = self.admits(history.prefix(len(history) - 1)) and self.check_history(
+                history
+            )
+        self._cache[history] = result
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} for {self._dt.name}>"
+
+
+class StaticAtomicity(LocalAtomicityProperty):
+    """Committed actions serializable in Begin-event order (Definition 3).
+
+    This is the property enforced by timestamp-based mechanisms such as
+    Reed's multiversion scheme and the Swallow storage system: each
+    action is ordered once and for all when it begins.
+    """
+
+    name = "static"
+    begin_order_sensitive = True
+
+    def check_history(self, history: BehavioralHistory) -> bool:
+        return all(self.oracle.is_legal(s) for s in static_serializations(history))
+
+
+class HybridAtomicity(LocalAtomicityProperty):
+    """Committed actions serializable in Commit-event order (Definition 3).
+
+    This is the property enforced by hybrid mechanisms: actions are
+    ordered by commit-time timestamps, with local synchronization (e.g.
+    short-term locks) keeping active actions consistent.
+    """
+
+    name = "hybrid"
+
+    def check_history(self, history: BehavioralHistory) -> bool:
+        return all(self.oracle.is_legal(s) for s in hybrid_serializations(history))
+
+
+class DynamicAtomicity(LocalAtomicityProperty):
+    """Strong dynamic atomicity (Definition 7).
+
+    A history qualifies when it is serializable in *every* order
+    consistent with the partial ``precedes`` order and all such
+    serializations are equivalent.  This is the property two-phase
+    locking mechanisms (Argus, TABS) enforce: until an action commits,
+    its order relative to concurrent actions remains undetermined, so
+    every consistent order must work equally well.
+    """
+
+    name = "dynamic"
+
+    def check_history(self, history: BehavioralHistory) -> bool:
+        pairs = precedes_pairs(history)
+        committed = history.committed
+        for subset in action_subsets(relevant_active(history)):
+            nodes = sorted(committed | set(subset))
+            reference: SerialHistory | None = None
+            for order in linear_extensions(nodes, pairs):
+                serial = serialize(history, order)
+                if not self.oracle.is_legal(serial):
+                    return False
+                if reference is None:
+                    reference = serial
+                elif not self.oracle.equivalent(reference, serial):
+                    return False
+        return True
+
+
+def is_serializable_in_some_order(
+    oracle: LegalityOracle, history: BehavioralHistory
+) -> bool:
+    """Is the committed subhistory serializable in *some* total order?
+
+    This is the bare atomicity requirement of Section 3.1, with no
+    constraint tying the order to Begin or Commit events.  It brute-forces
+    permutations of committed actions, which is fine at kernel scale.
+    """
+    committed = sorted(history.committed)
+    return any(
+        oracle.is_legal(serialize(history, order)) for order in permutations(committed)
+    )
+
+
+def is_atomic(oracle: LegalityOracle, history: BehavioralHistory) -> bool:
+    """Alias of :func:`is_serializable_in_some_order` matching the paper's term."""
+    return is_serializable_in_some_order(oracle, history)

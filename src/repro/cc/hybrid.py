@@ -1,0 +1,77 @@
+"""Hybrid concurrency control: commit-time timestamps plus dependency locks.
+
+Hybrid atomicity serializes committed actions in the order of their
+Commit events (Definition 3).  At runtime this means:
+
+* a response for an invocation is chosen as if the executing transaction
+  were to commit *next*: legal for the serial history of committed
+  events in commit-timestamp order followed by the transaction's own
+  events;
+* short-term synchronization keeps concurrently *active* transactions
+  from invalidating each other: transaction T may not execute an event
+  related by the hybrid dependency relation (in either direction) to an
+  event held by another active transaction.
+
+The conflict raised is non-fatal — the blocked transaction may wait for
+the holder to finish — matching the lock-based flavor of real hybrid
+schemes (Weihl's commit-time timestamps, Avalon).
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import CCScheme, pick_response
+from repro.cc.conflicts import ConflictTable, dependency_conflicts
+from repro.dependency.relation import DependencyRelation
+from repro.errors import ConflictError
+from repro.histories.events import Event, Invocation
+from repro.replication.view import View
+from repro.spec.datatype import SerialDataType
+from repro.spec.enumerate import event_alphabet
+from repro.spec.legality import LegalityOracle
+from repro.txn.ids import Transaction
+
+
+class HybridCC(CCScheme):
+    """Commit-time timestamp ordering with dependency-based locking."""
+
+    name = "hybrid"
+    serialization_order = "commit"
+
+    def __init__(
+        self,
+        datatype: SerialDataType,
+        relation: DependencyRelation,
+        oracle: LegalityOracle | None = None,
+        conflicts: ConflictTable | None = None,
+    ):
+        super().__init__(datatype, oracle)
+        self.relation = relation
+        if conflicts is None:
+            events = event_alphabet(datatype, 4, self.oracle)
+            conflicts = dependency_conflicts(relation, events)
+        self.conflicts = conflicts
+
+    def choose_event(
+        self,
+        view: View,
+        txn: Transaction,
+        invocation: Invocation,
+        sync,
+    ) -> Event:
+        prefix = view.commit_order_serial(own=txn.id)
+        event = pick_response(
+            self.oracle, prefix, invocation, base_state=view.base_state
+        )
+        if event is None:
+            raise self._too_late(invocation)
+        for holder, held_events in sync.active_events.items():
+            if holder == txn.id:
+                continue
+            for held in held_events:
+                if self.conflicts.conflict(event, held):
+                    raise ConflictError(
+                        f"{event} conflicts with uncommitted {held} of {holder}",
+                        fatal=False,
+                        holder=holder,
+                    )
+        return event

@@ -1,0 +1,166 @@
+"""Static concurrency control: begin-timestamp ordering (Reed, Swallow).
+
+Static atomicity serializes committed actions in the order of their
+Begin events (Definition 3): a transaction's serialization position is
+fixed the moment it begins.  ``Static(T)`` is moreover *on-line* — at
+every moment, committing any subset of the active transactions must
+yield a legal begin-order serialization — so enforcement is pessimistic,
+at operation time (as in Reed's multiversion scheme), not by optimistic
+commit-time certification:
+
+* a response for an invocation must keep **every** static serialization
+  legal: for every subset of the other active transactions, inserting
+  the new event at this transaction's begin position among the
+  committed-plus-subset events must be legal;
+* a violation involving only committed events is fatal — the transaction
+  arrived "too late" for its begin position (the timestamp-scheme abort);
+* a violation involving an active transaction's uncommitted events is a
+  non-fatal conflict — the transaction waits for the holder to finish,
+  exactly like a reader blocked on an uncommitted version;
+* commit needs no certification (the on-line invariant makes any commit
+  safe); :meth:`pre_commit` re-checks it as a cheap safety net.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+
+from repro.cc.base import CCScheme
+from repro.clocks.timestamps import Timestamp
+from repro.errors import ConflictError
+from repro.histories.events import Event, Invocation, SerialHistory
+from repro.replication.view import View
+from repro.txn.ids import ActionId, Transaction
+
+
+class StaticTimestampCC(CCScheme):
+    """Begin-timestamp ordering with pessimistic operation-time checks."""
+
+    name = "static"
+    serialization_order = "begin"
+
+    def choose_event(
+        self,
+        view: View,
+        txn: Transaction,
+        invocation: Invocation,
+        sync,
+    ) -> Event:
+        if view.base_state is not None:
+            raise ConflictError(
+                "static atomicity cannot execute against a compacted view "
+                "(begin-order serialization may interleave with the folded "
+                "prefix)",
+                fatal=True,
+            )
+        own_events = sync.own_events(txn.id)
+        committed_groups = self._committed_groups(view, txn.id)
+        active_groups = self._active_groups(view, sync, txn.id)
+
+        # Candidate responses must at least work against committed events
+        # alone (the empty subset of active transactions).
+        before, after = self._split(committed_groups, txn.begin_ts)
+        prefix = before + own_events
+        candidates = [
+            Event(invocation, res)
+            for res in sorted(self.oracle.responses(prefix, invocation), key=str)
+        ]
+
+        blocking_holder: ActionId | None = None
+        for event in candidates:
+            holder = self._first_violation(
+                committed_groups, active_groups, txn, own_events, event
+            )
+            if holder is None:
+                return event
+            if holder != _COMMITTED:
+                blocking_holder = holder
+        if blocking_holder is not None:
+            raise ConflictError(
+                f"{invocation} at {txn.id}'s begin position conflicts with "
+                f"uncommitted events of {blocking_holder}",
+                fatal=False,
+                holder=blocking_holder,
+            )
+        raise self._too_late(invocation)
+
+    def pre_commit(self, txn: Transaction, sync) -> None:
+        """Safety net: the on-line invariant makes commits always safe."""
+        before, after = sync.committed_split(txn.begin_ts)
+        serial = before + tuple(sync.own_events(txn.id)) + after
+        if not self.oracle.is_legal(serial):
+            raise ConflictError(
+                f"certification failed for {txn.id}: static on-line "
+                "invariant was broken (this indicates a scheme bug)",
+                fatal=True,
+            )
+
+    # -- internals -----------------------------------------------------------
+
+    def _first_violation(
+        self,
+        committed_groups: list[tuple[Timestamp, tuple[Event, ...]]],
+        active_groups: list[tuple[Timestamp, ActionId, tuple[Event, ...]]],
+        txn: Transaction,
+        own_events: tuple[Event, ...],
+        event: Event,
+    ):
+        """The holder blamed for the first illegal static serialization.
+
+        Checks every subset of the other active transactions, smallest
+        first; returns ``None`` if every serialization stays legal, the
+        sentinel ``_COMMITTED`` if even the committed-only serialization
+        fails, or the :class:`ActionId` of an active transaction whose
+        inclusion breaks legality.
+        """
+        indices = range(len(active_groups))
+        for subset in chain.from_iterable(
+            combinations(indices, size) for size in range(len(active_groups) + 1)
+        ):
+            groups = list(committed_groups)
+            for index in subset:
+                begin_ts, _holder, events = active_groups[index]
+                groups.append((begin_ts, events))
+            before, after = self._split(groups, txn.begin_ts)
+            serial = before + own_events + (event,) + after
+            if not self.oracle.is_legal(serial):
+                if not subset:
+                    return _COMMITTED
+                return active_groups[subset[-1]][1]
+        return None
+
+    @staticmethod
+    def _split(
+        groups: list[tuple[Timestamp, tuple[Event, ...]]], own_begin: Timestamp
+    ) -> tuple[SerialHistory, SerialHistory]:
+        before: list[Event] = []
+        after: list[Event] = []
+        for begin_ts, events in sorted(groups, key=lambda g: g[0]):
+            (before if begin_ts < own_begin else after).extend(events)
+        return tuple(before), tuple(after)
+
+    @staticmethod
+    def _committed_groups(
+        view: View, own: ActionId
+    ) -> list[tuple[Timestamp, tuple[Event, ...]]]:
+        return [
+            (view.statuses.begin_ts_of(action), view.events_of(action))
+            for action in view.committed_actions()
+            if action != own
+        ]
+
+    @staticmethod
+    def _active_groups(
+        view: View, sync, own: ActionId
+    ) -> list[tuple[Timestamp, ActionId, tuple[Event, ...]]]:
+        return [
+            (view.statuses.begin_ts_of(action), action, tuple(events))
+            for action, events in sorted(
+                sync.active_events.items(), key=lambda item: str(item[0])
+            )
+            if action != own and events
+        ]
+
+
+#: Sentinel distinguishing "conflicts with committed history" from a holder.
+_COMMITTED = "committed"

@@ -1,0 +1,68 @@
+"""Totally ordered logical timestamps.
+
+A :class:`Timestamp` is a pair ``(counter, site)``.  Comparing the counter
+first and breaking ties with the site identifier yields the total order
+required by the paper: "A system of Lamport Clocks can be used to impose
+an unambiguous ordering on Begin and Commit events" (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, order=True, slots=True)
+class Timestamp:
+    """A Lamport timestamp: logical counter with a site tiebreak.
+
+    The generated ``order=True`` comparison compares ``counter`` first and
+    ``site`` second, which is exactly the total order we need.
+    """
+
+    counter: int
+    site: int = 0
+
+    def next_at(self, site: int) -> "Timestamp":
+        """Return the earliest timestamp at ``site`` strictly after ``self``."""
+        return Timestamp(self.counter + 1, site)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.counter}.{self.site}"
+
+
+#: The timestamp ordered before every timestamp any clock can produce.
+ZERO = Timestamp(0, -1)
+
+
+class TimestampGenerator:
+    """A convenience source of strictly increasing timestamps at one site.
+
+    This wraps a bare counter for code (tests, examples) that needs
+    distinct ordered timestamps without simulating message exchange.  Code
+    that models message passing should use
+    :class:`~repro.clocks.lamport.LamportClock` instead.
+    """
+
+    def __init__(self, site: int = 0, start: int = 1):
+        if start < 1:
+            raise ValueError("timestamp counters start at 1")
+        self._site = site
+        self._counter = start - 1
+
+    @property
+    def site(self) -> int:
+        return self._site
+
+    def next(self) -> Timestamp:
+        """Return a fresh timestamp strictly greater than all prior ones."""
+        self._counter += 1
+        return Timestamp(self._counter, self._site)
+
+    def peek(self) -> Timestamp:
+        """Return the timestamp that :meth:`next` would produce, without advancing."""
+        return Timestamp(self._counter + 1, self._site)
+
+    def __iter__(self) -> Iterator[Timestamp]:
+        while True:
+            yield self.next()

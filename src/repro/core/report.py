@@ -1,0 +1,100 @@
+"""Text renderings of the paper's figures.
+
+* :func:`figure_1_1` — the concurrency relations among the three local
+  atomicity properties, verified by exhaustive enumeration on a data
+  type (hybrid > dynamic; static incomparable to both);
+* :func:`figure_1_2` — the availability (quorum-constraint) relations,
+  from the dependency comparison;
+* :func:`figure_3_1` — a replicated Queue's per-repository logs after a
+  short execution, in the layout of the paper's schematic.
+"""
+
+from __future__ import annotations
+
+from repro.atomicity.compare import ConcurrencyComparison
+from repro.core.compare import DependencyComparison
+from repro.replication.repository import Repository
+
+
+def figure_1_1(comparison: ConcurrencyComparison) -> str:
+    """Render the concurrency lattice verified by ``compare_concurrency``."""
+    hybrid_over_dynamic = comparison.contains("dynamic", "hybrid") and not (
+        comparison.contains("hybrid", "dynamic")
+    )
+    lines = [
+        "Figure 1-1 — concurrency relations "
+        f"(type {comparison.datatype}, exhaustive to "
+        f"{comparison.bounds.max_ops} ops / {comparison.bounds.max_actions} actions)",
+        "",
+        "        static          hybrid",
+        "            \\            /",
+        "             \\          /",
+        "              \\   strong",
+        "               \\  dynamic",
+        "",
+        f"  Dynamic(T) ⊆ Hybrid(T):          {comparison.contains('dynamic', 'hybrid')}",
+        f"  Hybrid(T) ⊈ Dynamic(T) (strict): {hybrid_over_dynamic}",
+        f"  static vs hybrid incomparable:   {comparison.incomparable('static', 'hybrid')}",
+        f"  static vs dynamic incomparable:  {comparison.incomparable('static', 'dynamic')}",
+        "",
+        f"  admitted histories: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(comparison.admitted.items()))
+        + f" (of {comparison.universe_size} in the union universe)",
+    ]
+    return "\n".join(lines)
+
+
+def figure_1_2(comparison: DependencyComparison) -> str:
+    """Render the availability lattice from a dependency comparison."""
+    lines = [
+        "Figure 1-2 — constraints on quorum assignment "
+        f"(type {comparison.datatype}, serial bound {comparison.bound})",
+        "",
+        "       hybrid   (weakest constraints that still maximize concurrency)",
+        "         |",
+        "       static          strong dynamic   (incomparable to both)",
+        "",
+    ]
+    if comparison.hybrid is not None:
+        lines.append(
+            f"  hybrid ⊆ static (fewer constraints):        "
+            f"{comparison.static_contains_hybrid()}"
+        )
+        lines.append(
+            f"  hybrid vs dynamic incomparable:             "
+            f"{comparison.hybrid_dynamic_incomparable()}"
+        )
+    lines.append(
+        f"  static vs dynamic incomparable:             "
+        f"{comparison.static_dynamic_incomparable()}"
+    )
+    lines.append("")
+    lines.append(comparison.summary())
+    return "\n".join(lines)
+
+
+def figure_3_1(repositories: list[Repository], object_name: str) -> str:
+    """Render each repository's log fragment side by side.
+
+    Reproduces the layout of the paper's Figure 3-1: a queue replicated
+    among repositories, the log entries partially replicated among them.
+    """
+    columns = []
+    for repo in repositories:
+        log = repo.read_log(object_name)
+        rows = [f"Repository {repo.site}"] + [str(e) for e in log.ordered()]
+        columns.append(rows)
+    width = max((len(row) for col in columns for row in col), default=0) + 2
+    height = max(len(col) for col in columns)
+    lines = [
+        "Figure 3-1 — a replicated object's log, partially replicated "
+        f"among {len(repositories)} repositories",
+        "",
+    ]
+    for row_index in range(height):
+        cells = [
+            (col[row_index] if row_index < len(col) else "").ljust(width)
+            for col in columns
+        ]
+        lines.append("| " + "| ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Closed subhistories (paper, Definition 1).
+
+``G`` is a closed subhistory of ``H`` under a relation ``≥`` if ``G`` is
+an (order-preserving) subhistory of ``H`` and, whenever ``G`` contains an
+operation entry ``[e A]``, it also contains every earlier entry
+``[e' A']`` of ``H`` with ``e.inv ≥ e'`` — unless ``A`` or ``A'`` has
+aborted.
+
+Modeling note.  In the quorum-consensus method a front-end's *view* may
+miss operation entries (those live only in unqueried repositories) but
+knows transaction status; accordingly a closed subhistory here always
+retains every Begin/Commit/Abort entry of ``H`` and drops only operation
+entries.  This matches the constructions in the paper's proofs, where
+``G`` is always "all events of H except the last".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.dependency.relation import DependencyRelation
+from repro.histories.behavioral import BehavioralHistory, Op
+
+
+def _op_indices(history: BehavioralHistory) -> tuple[int, ...]:
+    return tuple(
+        index for index, entry in enumerate(history) if isinstance(entry, Op)
+    )
+
+
+def project(history: BehavioralHistory, kept_ops: frozenset[int]) -> BehavioralHistory:
+    """The subhistory keeping all non-operation entries and ``kept_ops``."""
+    return BehavioralHistory(
+        entry
+        for index, entry in enumerate(history)
+        if not isinstance(entry, Op) or index in kept_ops
+    )
+
+
+def _violations(
+    history: BehavioralHistory,
+    relation: DependencyRelation,
+    kept: frozenset[int],
+) -> bool:
+    """Does ``kept`` violate closure: a kept entry depends on a dropped earlier one?"""
+    aborted = history.aborted
+    entries = history.entries
+    for index in kept:
+        entry = entries[index]
+        assert isinstance(entry, Op)
+        if entry.action in aborted:
+            continue
+        for earlier_index in _op_indices(history):
+            if earlier_index >= index or earlier_index in kept:
+                continue
+            earlier = entries[earlier_index]
+            assert isinstance(earlier, Op)
+            if earlier.action in aborted:
+                continue
+            if relation.depends(entry.event.inv, earlier.event):
+                return True
+    return False
+
+
+def is_closed_subhistory(
+    history: BehavioralHistory,
+    relation: DependencyRelation,
+    kept_ops: frozenset[int],
+) -> bool:
+    """Is the projection onto ``kept_ops`` closed under ``relation``?"""
+    return not _violations(history, relation, kept_ops)
+
+
+def closed_subhistories(
+    history: BehavioralHistory,
+    relation: DependencyRelation,
+    required_ops: frozenset[int] = frozenset(),
+    *,
+    proper_only: bool = False,
+) -> Iterator[tuple[frozenset[int], BehavioralHistory]]:
+    """Yield every closed subhistory containing the ``required_ops`` entries.
+
+    Yields ``(kept_indices, subhistory)`` pairs.  ``required_ops`` are
+    entry indices into ``history`` that must be kept (Definition 2
+    requires the view for an invocation to contain every event it depends
+    on).  With ``proper_only`` the full history itself is skipped.
+
+    The closure of ``required_ops`` under ``relation`` is taken first;
+    the remaining optional entries are then toggled in all combinations
+    that preserve closure.  At kernel scale (≤ 6 operation entries) plain
+    subset enumeration is exact and fast.
+    """
+    ops = _op_indices(history)
+    optional = [index for index in ops if index not in required_ops]
+    for bits in range(1 << len(optional)):
+        kept = set(required_ops)
+        for position, index in enumerate(optional):
+            if bits & (1 << position):
+                kept.add(index)
+        kept_frozen = frozenset(kept)
+        if proper_only and len(kept_frozen) == len(ops):
+            continue
+        if is_closed_subhistory(history, relation, kept_frozen):
+            yield kept_frozen, project(history, kept_frozen)
+
+
+def dependent_op_indices(
+    history: BehavioralHistory,
+    relation: DependencyRelation,
+    invocation,
+) -> frozenset[int]:
+    """Indices of the (non-aborted) entries of ``history`` that ``invocation`` depends on."""
+    aborted = history.aborted
+    return frozenset(
+        index
+        for index, entry in enumerate(history)
+        if isinstance(entry, Op)
+        and entry.action not in aborted
+        and relation.depends(invocation, entry.event)
+    )

@@ -1,0 +1,101 @@
+"""The unique minimal dynamic dependency relation (Theorem 10).
+
+Theorem 10: ``inv ≥D e`` iff there exists a response ``res`` such that
+``[inv;res]`` and ``e`` do not *commute*, where two events commute
+(Definition 8) when for every serial history ``h`` with ``h·e`` and
+``h·e'`` both legal, ``h·e·e'`` and ``h·e'·e`` are equivalent legal
+histories.
+
+:func:`commute` checks Definition 8 exhaustively over all legal
+histories of at most ``max_events`` events, and
+:func:`minimal_dynamic_dependency` assembles ``≥D`` from it.  The
+commutativity table computed here is also what the locking
+concurrency-control scheme (:mod:`repro.cc.locking`) uses for its
+conflict matrix — the paper's point that strong dynamic atomicity ties
+*both* concurrency and availability to the same commutativity structure.
+"""
+
+from __future__ import annotations
+
+from repro.dependency.relation import DependencyRelation, GroundPair
+from repro.histories.events import Event
+from repro.spec.datatype import SerialDataType
+from repro.spec.enumerate import event_alphabet, legal_serial_histories
+from repro.spec.legality import LegalityOracle
+
+
+def commute(
+    datatype: SerialDataType,
+    first: Event,
+    second: Event,
+    max_events: int = 4,
+    oracle: LegalityOracle | None = None,
+) -> bool:
+    """Definition 8, bounded: do ``first`` and ``second`` commute?
+
+    Checks every legal serial history ``h`` of at most ``max_events``
+    events: whenever ``h·first`` and ``h·second`` are both legal,
+    ``h·first·second`` and ``h·second·first`` must be equivalent legal
+    histories.
+    """
+    oracle = oracle or LegalityOracle(datatype)
+    for history in legal_serial_histories(datatype, max_events, oracle):
+        if not (
+            oracle.is_legal(history + (first,))
+            and oracle.is_legal(history + (second,))
+        ):
+            continue
+        forward = history + (first, second)
+        backward = history + (second, first)
+        if not oracle.is_legal(forward) or not oracle.is_legal(backward):
+            return False
+        if not oracle.equivalent(forward, backward):
+            return False
+    return True
+
+
+def commutativity_table(
+    datatype: SerialDataType,
+    max_events: int = 4,
+    oracle: LegalityOracle | None = None,
+    events: tuple[Event, ...] | None = None,
+) -> dict[tuple[Event, Event], bool]:
+    """The full pairwise commutativity table over the event alphabet.
+
+    Symmetric by definition, so only one orientation is computed and the
+    table is mirrored.
+    """
+    oracle = oracle or LegalityOracle(datatype)
+    if events is None:
+        events = event_alphabet(datatype, max_events + 2, oracle)
+    table: dict[tuple[Event, Event], bool] = {}
+    for i, first in enumerate(events):
+        for second in events[i:]:
+            result = commute(datatype, first, second, max_events, oracle)
+            table[(first, second)] = result
+            table[(second, first)] = result
+    return table
+
+
+def minimal_dynamic_dependency(
+    datatype: SerialDataType,
+    max_events: int = 4,
+    oracle: LegalityOracle | None = None,
+    events: tuple[Event, ...] | None = None,
+) -> DependencyRelation:
+    """Compute ``≥D`` by the Theorem 10 characterization.
+
+    ``inv ≥D e`` whenever some ``[inv;res]`` event from the alphabet
+    fails to commute with ``e``.  Raising ``max_events`` can only add
+    pairs (more histories can witness non-commutativity).
+    """
+    oracle = oracle or LegalityOracle(datatype)
+    if events is None:
+        events = event_alphabet(datatype, max_events + 2, oracle)
+    table = commutativity_table(datatype, max_events, oracle, events)
+    pairs: set[GroundPair] = set()
+    for inv_event in events:
+        for other in events:
+            if not table[(inv_event, other)]:
+                pairs.add((inv_event.inv, other))
+    return DependencyRelation(pairs)

@@ -1,0 +1,94 @@
+"""Synthesizing hybrid dependency relations.
+
+Unlike static and dynamic atomicity, hybrid atomicity has no unique
+minimal dependency relation and no closed-form characterization — the
+paper's FlagSet shows the minimal relations can be incomparable
+alternatives.  A practical system still needs *some* valid hybrid
+relation for each type (the hybrid concurrency-control scheme locks by
+it, and quorum assignments must satisfy it).  Two routes:
+
+* **Theorem 4 fallback** — the unique minimal static relation is always
+  a valid hybrid relation.  Zero search cost, but it can over-constrain
+  (for PROM it forces the two extra Read/Write pairs hybrid atomicity
+  does not need).
+* **Synthesis** (:func:`synthesize_hybrid_relation`) — compute the
+  required core (pairs in every valid relation) on a bounded arena,
+  then repair it: while a Definition-2 counterexample exists, add a
+  pair that covers it, preferring pairs already forced by the static
+  relation.  The result is a valid (bounded-verified) relation, usually
+  strictly inside the static one.
+
+Synthesis is greedy, so it lands on *one* of the minimal alternatives
+when several exist (the FlagSet situation) — which is exactly what a
+deployment does too: pick one valid constraint set and assign quorums
+to it.
+"""
+
+from __future__ import annotations
+
+from repro.dependency.relation import DependencyRelation, GroundPair
+from repro.dependency.static_dep import minimal_static_dependency
+from repro.dependency.verify import (
+    Counterexample,
+    VerificationArena,
+    find_counterexample,
+    required_pairs,
+)
+from repro.errors import DependencyError
+from repro.histories.behavioral import Op
+
+
+def _covering_pairs(counterexample: Counterexample) -> list[GroundPair]:
+    """Pairs whose addition would force the missing evidence into views.
+
+    Any Definition-2 violation means the subhistory ``G`` omitted some
+    operation entry of ``H`` that mattered; relating the appended
+    invocation to each omitted event yields candidate repairs.
+    """
+    appended_inv = counterexample.appended.event.inv
+    candidates: list[GroundPair] = []
+    kept = counterexample.kept_ops
+    for index, entry in enumerate(counterexample.history.entries):
+        if isinstance(entry, Op) and index not in kept:
+            candidates.append((appended_inv, entry.event))
+    return candidates
+
+
+def synthesize_hybrid_relation(
+    arena: VerificationArena,
+    *,
+    prefer: DependencyRelation | None = None,
+    max_repairs: int = 100,
+) -> DependencyRelation:
+    """Produce a bounded-verified hybrid dependency relation.
+
+    ``arena`` must be built over ``HybridAtomicity``.  ``prefer`` biases
+    repair choices toward its pairs (default: the type's minimal static
+    relation, so the synthesized relation tends to stay inside the
+    Theorem 4 fallback).  Raises
+    :class:`~repro.errors.DependencyError` if no repair converges within
+    ``max_repairs`` additions (never observed; the total relation is
+    always valid, so termination only needs the repair loop to make
+    progress).
+    """
+    if prefer is None:
+        prefer = minimal_static_dependency(
+            arena.property.datatype, 3, arena.property.oracle
+        )
+    relation = required_pairs(arena)
+    for _round in range(max_repairs):
+        counterexample = find_counterexample(relation, arena)
+        if counterexample is None:
+            return relation
+        candidates = _covering_pairs(counterexample)
+        if not candidates:
+            raise DependencyError(
+                "counterexample with no omitted events — cannot repair:\n"
+                + counterexample.explain()
+            )
+        preferred = [pair for pair in candidates if pair in prefer.pairs]
+        chosen = sorted(
+            preferred or candidates, key=lambda p: (str(p[0]), str(p[1]))
+        )[0]
+        relation = relation.with_pair(chosen)
+    raise DependencyError(f"synthesis did not converge in {max_repairs} repairs")

@@ -1,0 +1,184 @@
+"""Dependency relations between invocations and events.
+
+The kernel works with *ground* relations — finite sets of
+``(Invocation, Event)`` pairs over a data type's generator alphabet —
+because every check (closure, Definition 2, the Theorem 6/10 searches)
+is combinatorial.  The paper, however, states its relations at the
+*schema* level (``Deq() ≥ Enq(x);Ok()`` for every item ``x``), so
+:class:`SchemaPair` describes a pair pattern by operation names and
+response kind, and :meth:`DependencyRelation.from_schemas` grounds a set
+of patterns over an alphabet.  :meth:`DependencyRelation.schema_pairs`
+projects a ground relation back for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.histories.events import Event, Invocation
+
+GroundPair = tuple[Invocation, Event]
+
+
+@dataclass(frozen=True, slots=True)
+class SchemaPair:
+    """A pair pattern: invocation operation ≥ event operation/response kind.
+
+    ``ev_kind`` of ``None`` matches every response kind.  ``inv_args``
+    and ``ev_args`` of ``None`` match any arguments; fixing them writes
+    patterns like the paper's FlagSet pair ``Shift(3) ≥ Shift(1);Ok()``
+    = ``SchemaPair("Shift", "Shift", "Ok", inv_args=(3,), ev_args=(1,))``.
+    For example ``Seal() ≥ Write(x);Ok()`` (any ``x``) is
+    ``SchemaPair("Seal", "Write", "Ok")``.
+    """
+
+    inv_op: str
+    ev_op: str
+    ev_kind: str | None = "Ok"
+    inv_args: tuple | None = None
+    ev_args: tuple | None = None
+    #: The paper writes pairs like ``Enq(x) ≥ Deq();Ok(y)`` with *distinct*
+    #: variable names when the dependency holds only for distinct values
+    #: (same-value operations commute).  With ``distinct=True`` the pair
+    #: matches only when the invocation's argument tuple differs from the
+    #: event's distinguishing values — the event invocation's arguments
+    #: when it has any, otherwise the event response's values.
+    distinct: bool = False
+
+    def matches(self, invocation: Invocation, event: Event) -> bool:
+        if not (
+            invocation.op == self.inv_op
+            and event.inv.op == self.ev_op
+            and (self.ev_kind is None or event.res.kind == self.ev_kind)
+            and (self.inv_args is None or invocation.args == self.inv_args)
+            and (self.ev_args is None or event.inv.args == self.ev_args)
+        ):
+            return False
+        if self.distinct:
+            witness = event.inv.args if event.inv.args else event.res.values
+            if invocation.args == witness:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        kind = self.ev_kind if self.ev_kind is not None else "*"
+        inv_args = "x" if self.distinct else ""
+        if self.inv_args is not None:
+            inv_args = ", ".join(map(repr, self.inv_args))
+        ev_args = "y≠x" if self.distinct else ""
+        if self.ev_args is not None:
+            ev_args = ", ".join(map(repr, self.ev_args))
+        return f"{self.inv_op}({inv_args}) ≥ {self.ev_op}({ev_args});{kind}"
+
+
+class DependencyRelation:
+    """An immutable ground relation between invocations and events."""
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self, pairs: Iterable[GroundPair] = ()):
+        self._pairs = frozenset(pairs)
+
+    @staticmethod
+    def from_schemas(
+        schemas: Iterable[SchemaPair],
+        invocations: Iterable[Invocation],
+        events: Iterable[Event],
+    ) -> "DependencyRelation":
+        """Ground schema patterns over an invocation and event alphabet."""
+        schemas = tuple(schemas)
+        invocations = tuple(invocations)
+        events = tuple(events)
+        pairs = {
+            (inv, ev)
+            for schema in schemas
+            for inv in invocations
+            for ev in events
+            if schema.matches(inv, ev)
+        }
+        return DependencyRelation(pairs)
+
+    @staticmethod
+    def total(
+        invocations: Iterable[Invocation], events: Iterable[Event]
+    ) -> "DependencyRelation":
+        """The total relation: every invocation depends on every event.
+
+        The total relation is always an atomic dependency relation (it
+        forces views to be complete), so it is the safe upper bound from
+        which :func:`repro.dependency.verify.required_pairs` prunes.
+        """
+        invocations = tuple(invocations)
+        return DependencyRelation(
+            (inv, ev) for inv in invocations for ev in events
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def depends(self, invocation: Invocation, event: Event) -> bool:
+        """``invocation ≥ event``?"""
+        return (invocation, event) in self._pairs
+
+    @property
+    def pairs(self) -> frozenset[GroundPair]:
+        return self._pairs
+
+    def schema_pairs(self) -> tuple[SchemaPair, ...]:
+        """Project to the schema level for reporting.
+
+        Each ground pair maps to ``(inv.op, ev.inv.op, ev.res.kind)``;
+        the projection is lossy when a relation distinguishes arguments,
+        which none of the paper's relations do.
+        """
+        schemas = {
+            SchemaPair(inv.op, ev.inv.op, ev.res.kind) for inv, ev in self._pairs
+        }
+        return tuple(sorted(schemas, key=str))
+
+    # -- set algebra -----------------------------------------------------------
+
+    def __contains__(self, pair: GroundPair) -> bool:
+        return pair in self._pairs
+
+    def __iter__(self) -> Iterator[GroundPair]:
+        return iter(sorted(self._pairs, key=lambda p: (str(p[0]), str(p[1]))))
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DependencyRelation) and self._pairs == other._pairs
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def __le__(self, other: "DependencyRelation") -> bool:
+        return self._pairs <= other._pairs
+
+    def __lt__(self, other: "DependencyRelation") -> bool:
+        return self._pairs < other._pairs
+
+    def union(self, other: "DependencyRelation") -> "DependencyRelation":
+        return DependencyRelation(self._pairs | other._pairs)
+
+    def difference(self, other: "DependencyRelation") -> "DependencyRelation":
+        return DependencyRelation(self._pairs - other._pairs)
+
+    def without(self, pair: GroundPair) -> "DependencyRelation":
+        return DependencyRelation(self._pairs - {pair})
+
+    def with_pair(self, pair: GroundPair) -> "DependencyRelation":
+        return DependencyRelation(self._pairs | {pair})
+
+    def __str__(self) -> str:
+        return "\n".join(str(s) for s in self.schema_pairs())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DependencyRelation({len(self._pairs)} pairs)"
+
+    def describe(self) -> str:
+        """Full ground listing, one ``inv ≥ event`` pair per line."""
+        return "\n".join(f"{inv} ≥ {ev}" for inv, ev in self)

@@ -1,0 +1,99 @@
+"""The unique minimal static dependency relation (Theorem 6).
+
+Theorem 6 characterizes the minimal static dependency relation ``≥s``
+directly in terms of the serial specification: ``inv ≥s e`` iff there
+exist a response ``res`` and serial histories ``h1, h2, h3`` with
+``h1·h2·h3`` legal such that either
+
+1. ``h1·[inv;res]·h2·h3`` and ``h1·h2·e·h3`` are legal but
+   ``h1·[inv;res]·h2·e·h3`` is illegal — a later ``e`` invalidates the
+   response chosen for ``inv``; or
+2. ``h1·e·h2·h3`` and ``h1·h2·[inv;res]·h3`` are legal but
+   ``h1·e·h2·[inv;res]·h3`` is illegal — a missing earlier ``e`` makes
+   the chosen response wrong.
+
+:func:`minimal_static_dependency` evaluates this characterization
+exhaustively over all legal serial histories with at most ``max_events``
+events, yielding the ground relation.  The search is monotone in the
+bound: raising ``max_events`` can only add pairs.
+"""
+
+from __future__ import annotations
+
+from repro.dependency.relation import DependencyRelation, GroundPair
+from repro.histories.events import Event, SerialHistory
+from repro.spec.datatype import SerialDataType
+from repro.spec.enumerate import event_alphabet, legal_serial_histories
+from repro.spec.legality import LegalityOracle
+
+
+def minimal_static_dependency(
+    datatype: SerialDataType,
+    max_events: int = 4,
+    oracle: LegalityOracle | None = None,
+    events: tuple[Event, ...] | None = None,
+) -> DependencyRelation:
+    """Compute ``≥s`` by the Theorem 6 search, bounded at ``max_events``.
+
+    ``max_events`` bounds the length of ``h1·h2·h3``; ``events``
+    optionally fixes the event alphabet used for both the inserted
+    ``[inv;res]`` events and the interfering ``e`` events (default: the
+    alphabet of legal histories of ``max_events + 2`` events, so that
+    insertions cannot escape the alphabet).
+    """
+    oracle = oracle or LegalityOracle(datatype)
+    if events is None:
+        events = event_alphabet(datatype, max_events + 2, oracle)
+    pairs: set[GroundPair] = set()
+
+    def record_if_conflicting(
+        h1: SerialHistory, h2: SerialHistory, h3: SerialHistory
+    ) -> None:
+        for inv_event in events:
+            for interfering in events:
+                pair = (inv_event.inv, interfering)
+                if pair in pairs:
+                    continue
+                if _condition_one(
+                    oracle, h1, h2, h3, inv_event, interfering
+                ) or _condition_two(oracle, h1, h2, h3, inv_event, interfering):
+                    pairs.add(pair)
+
+    for history in legal_serial_histories(datatype, max_events, oracle):
+        length = len(history)
+        for i in range(length + 1):
+            for j in range(i, length + 1):
+                record_if_conflicting(history[:i], history[i:j], history[j:])
+    return DependencyRelation(pairs)
+
+
+def _condition_one(
+    oracle: LegalityOracle,
+    h1: SerialHistory,
+    h2: SerialHistory,
+    h3: SerialHistory,
+    inv_event: Event,
+    interfering: Event,
+) -> bool:
+    """A later ``e`` invalidates the response: clause 1 of Theorem 6."""
+    return (
+        oracle.is_legal(h1 + (inv_event,) + h2 + h3)
+        and oracle.is_legal(h1 + h2 + (interfering,) + h3)
+        and not oracle.is_legal(h1 + (inv_event,) + h2 + (interfering,) + h3)
+    )
+
+
+def _condition_two(
+    oracle: LegalityOracle,
+    h1: SerialHistory,
+    h2: SerialHistory,
+    h3: SerialHistory,
+    inv_event: Event,
+    interfering: Event,
+) -> bool:
+    """A missing earlier ``e`` makes the response wrong: clause 2 of Theorem 6."""
+    return (
+        oracle.is_legal(h1 + (interfering,) + h2 + h3)
+        and oracle.is_legal(h1 + h2 + (inv_event,) + h3)
+        and not oracle.is_legal(h1 + (interfering,) + h2 + (inv_event,) + h3)
+    )

@@ -1,0 +1,229 @@
+"""Bounded verification of atomic dependency relations (Definition 2).
+
+A relation ``≥`` is an *atomic dependency relation* for a behavioral
+specification when, for every legal history ``H``, every closed
+subhistory ``G`` containing the events ``H`` relates to an invocation
+``inv``, and every response ``res``: if ``G·[inv;res A]`` is legal then
+``H·[inv;res A]`` is legal.  Operationally: a front-end that assembles a
+*view* (a closed subhistory guaranteed to contain everything ``inv``
+depends on, by quorum intersection) and finds a response legal for the
+view may safely return it.
+
+:func:`find_counterexample` refutes candidate relations by exhaustive
+search up to bounds; :func:`is_dependency_relation` is its boolean form.
+The search is *sound* (any counterexample it returns is genuine) and
+*complete up to the bounds*: every counterexample in the paper fits well
+inside the default bounds, and benches report the bounds used.
+
+Because every superset of an atomic dependency relation is itself an
+atomic dependency relation (more required intersections mean richer
+views), the total relation is always valid, and the set of pairs present
+in *every* valid relation — :func:`required_pairs` — can be computed by
+deleting one pair at a time from the total relation.  For static and
+dynamic atomicity that set *is* the unique minimal relation (Theorems 6
+and 10); for hybrid atomicity it may be strictly smaller than every
+valid relation, which is exactly the paper's FlagSet phenomenon.
+
+To make repeated verification cheap (minimality checks run one search
+per pair), a :class:`VerificationArena` precomputes the bounded history
+universe and all candidate appended events once; individual relation
+checks then reuse it, and all specification-membership queries hit the
+property's memoization cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.atomicity.explore import ExplorationBounds, behavioral_histories
+from repro.atomicity.properties import LocalAtomicityProperty
+from repro.dependency.closure import (
+    closed_subhistories,
+    dependent_op_indices,
+)
+from repro.dependency.relation import DependencyRelation, GroundPair
+from repro.histories.behavioral import Action, BehavioralHistory, Op
+from repro.histories.events import Event, Invocation
+
+
+@dataclass(frozen=True)
+class VerificationBounds:
+    """Bounds for Definition 2 verification.
+
+    ``exploration`` bounds the history universe; ``append_events``
+    optionally restricts the events considered for the appended
+    operation (default: the exploration alphabet).
+    """
+
+    exploration: ExplorationBounds = field(default_factory=ExplorationBounds)
+    append_events: tuple[Event, ...] | None = None
+
+
+@dataclass
+class Counterexample:
+    """A witness that a relation is not an atomic dependency relation.
+
+    ``history`` is legal, ``subhistory`` is a closed subhistory
+    containing everything ``appended.event.inv`` depends on, the
+    subhistory extended by ``appended`` is legal — yet the history
+    extended by ``appended`` is not.
+    """
+
+    history: BehavioralHistory
+    subhistory: BehavioralHistory
+    kept_ops: frozenset[int]
+    appended: Op
+
+    def explain(self) -> str:
+        return (
+            "counterexample to Definition 2:\n"
+            f"H =\n{_indent(str(self.history))}\n"
+            f"G (closed subhistory) =\n{_indent(str(self.subhistory))}\n"
+            f"G·[{self.appended}] is in the specification "
+            f"but H·[{self.appended}] is not"
+        )
+
+
+def _indent(text: str) -> str:
+    return "\n".join("    " + line for line in text.splitlines())
+
+
+class VerificationArena:
+    """The shared, precomputed universe for Definition 2 checks.
+
+    Stores every bounded history ``H`` admitted by the property together
+    with every candidate appended operation ``[e A]`` and whether
+    ``H·[e A]`` is admitted.  Only appends that are *rejected* matter to
+    the search (admitted appends satisfy Definition 2 vacuously), so
+    those are kept per history.
+    """
+
+    def __init__(self, prop: LocalAtomicityProperty, bounds: VerificationBounds):
+        self.property = prop
+        self.bounds = bounds
+        events = bounds.append_events
+        if events is None:
+            events = bounds.exploration.resolve_events(prop)
+        self.append_events: tuple[Event, ...] = tuple(events)
+        self.invocations: tuple[Invocation, ...] = tuple(
+            sorted({ev.inv for ev in self.append_events}, key=str)
+        )
+        #: (history, rejected appends) pairs; each append is an Op entry
+        #: such that history.append(op) is well-formed but not admitted.
+        self.entries: list[tuple[BehavioralHistory, tuple[Op, ...]]] = []
+        self._build()
+
+    def _build(self) -> None:
+        prop = self.property
+        for history in behavioral_histories(prop, self.bounds.exploration):
+            rejected: list[Op] = []
+            for action in sorted(history.active):
+                for event in self.append_events:
+                    op = Op(event, action)
+                    if not prop.admits(history.append(op)):
+                        rejected.append(op)
+            if rejected:
+                self.entries.append((history, tuple(rejected)))
+
+    def universe_pairs(self) -> DependencyRelation:
+        """The total relation over this arena's alphabet."""
+        return DependencyRelation.total(self.invocations, self.append_events)
+
+
+def find_counterexample(
+    relation: DependencyRelation,
+    arena: VerificationArena,
+) -> Counterexample | None:
+    """Search the arena for a Definition 2 violation of ``relation``.
+
+    Returns the first counterexample found, or ``None`` when the
+    relation holds throughout the bounded universe.
+    """
+    prop = arena.property
+    for history, rejected in arena.entries:
+        for op in rejected:
+            required = dependent_op_indices(history, relation, op.event.inv)
+            for kept, subhistory in closed_subhistories(
+                history, relation, required, proper_only=True
+            ):
+                if prop.admits(subhistory.append(op)):
+                    return Counterexample(history, subhistory, kept, op)
+    return None
+
+
+def is_dependency_relation(
+    relation: DependencyRelation,
+    arena: VerificationArena,
+) -> bool:
+    """Does ``relation`` satisfy Definition 2 throughout the arena?"""
+    return find_counterexample(relation, arena) is None
+
+
+def required_pairs(
+    arena: VerificationArena,
+    universe: DependencyRelation | None = None,
+) -> DependencyRelation:
+    """Pairs contained in *every* atomic dependency relation (within bounds).
+
+    A pair is required when deleting it from the total relation breaks
+    Definition 2.  For static and dynamic atomicity this equals the
+    unique minimal relation; for hybrid atomicity it is the intersection
+    of all minimal relations (Theorem 4's corollary: the minimal static
+    relation encompasses the union of the minimal hybrid relations, and
+    the FlagSet shows the intersection can be a strict subset of every
+    valid relation).
+    """
+    total = universe if universe is not None else arena.universe_pairs()
+    needed: set[GroundPair] = set()
+    for pair in total.pairs:
+        if find_counterexample(total.without(pair), arena) is not None:
+            needed.add(pair)
+    return DependencyRelation(needed)
+
+
+def is_minimal_relation(
+    relation: DependencyRelation,
+    arena: VerificationArena,
+) -> bool:
+    """Is ``relation`` valid with every single-pair deletion invalid?"""
+    if not is_dependency_relation(relation, arena):
+        return False
+    return all(
+        find_counterexample(relation.without(pair), arena) is not None
+        for pair in relation.pairs
+    )
+
+
+def minimal_extensions(
+    core: DependencyRelation,
+    candidates: Iterable[GroundPair],
+    arena: VerificationArena,
+    *,
+    max_added: int = 2,
+) -> Iterator[DependencyRelation]:
+    """Yield valid relations ``core ∪ A`` with every added pair essential.
+
+    Used to reproduce the FlagSet result: the required core extends to a
+    valid relation via *either* of two single pairs, neither contained in
+    the other's extension.  An extension qualifies when it satisfies
+    Definition 2 and removing any one *added* pair breaks it again —
+    i.e. the addition set is minimal (the core itself is taken as given;
+    certifying global minimality of every core pair can need witnesses
+    beyond any fixed bound).
+    """
+    from itertools import combinations
+
+    candidates = [pair for pair in candidates if pair not in core.pairs]
+    for size in range(max_added + 1):
+        for added in combinations(candidates, size):
+            extended = core
+            for pair in added:
+                extended = extended.with_pair(pair)
+            if not is_dependency_relation(extended, arena):
+                continue
+            if all(
+                find_counterexample(extended.without(pair), arena) is not None
+                for pair in added
+            ):
+                yield extended

@@ -1,0 +1,243 @@
+"""Behavioral histories.
+
+In the presence of failure and concurrency, an object's state is given by
+a *behavioral history*: a sequence of Begin events, operation executions,
+Commit events, and Abort events, each associated with an action (paper,
+Section 3.1).  :class:`BehavioralHistory` is an immutable sequence of
+:class:`Entry` values together with the derived per-action information
+the serialization machinery needs: begin order, commit order, the set of
+active actions, and the ``precedes`` partial order of Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import SpecificationError
+from repro.histories.events import Event
+
+#: Actions are identified by short hashable names ("A", "B", ...) in the
+#: theory kernel and by structured ids in the replication runtime.
+Action = str
+
+
+@dataclass(frozen=True, slots=True)
+class Begin:
+    """``Begin A`` — action ``action`` starts."""
+
+    action: Action
+
+    def __str__(self) -> str:
+        return f"Begin {self.action}"
+
+
+@dataclass(frozen=True, slots=True)
+class Commit:
+    """``Commit A`` — action ``action`` commits."""
+
+    action: Action
+
+    def __str__(self) -> str:
+        return f"Commit {self.action}"
+
+
+@dataclass(frozen=True, slots=True)
+class Abort:
+    """``Abort A`` — action ``action`` aborts; its effects are undone."""
+
+    action: Action
+
+    def __str__(self) -> str:
+        return f"Abort {self.action}"
+
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    """``[e A]`` — action ``action`` executes event ``event``."""
+
+    event: Event
+    action: Action
+
+    def __str__(self) -> str:
+        return f"{self.event} {self.action}"
+
+
+Entry = Begin | Commit | Abort | Op
+
+
+class BehavioralHistory:
+    """An immutable, well-formed behavioral history.
+
+    Well-formedness (checked on construction):
+
+    * an action's ``Begin`` precedes all its other entries;
+    * each action begins, commits, and aborts at most once;
+    * no action both commits and aborts;
+    * no operation entry follows the action's ``Commit`` or ``Abort``.
+
+    The *order* of ``Begin`` entries is taken as the Lamport begin-time
+    order used by static atomicity, and the order of ``Commit`` entries
+    as the Lamport commit-time order used by hybrid atomicity
+    (Definition 3): representing timestamps positionally keeps the kernel
+    purely combinatorial.
+    """
+
+    __slots__ = ("_entries", "_begun", "_committed", "_aborted", "_hash", "_events_of")
+
+    def __init__(self, entries: Iterable[Entry] = ()):
+        entries = tuple(entries)
+        begun: list[Action] = []
+        committed: list[Action] = []
+        aborted: list[Action] = []
+        for index, entry in enumerate(entries):
+            action = entry.action
+            if isinstance(entry, Begin):
+                if action in begun:
+                    raise SpecificationError(
+                        f"entry {index}: action {action} begins twice"
+                    )
+                begun.append(action)
+                continue
+            if action not in begun:
+                raise SpecificationError(
+                    f"entry {index}: action {action} acts before its Begin"
+                )
+            if action in committed or action in aborted:
+                raise SpecificationError(
+                    f"entry {index}: action {action} acts after terminating"
+                )
+            if isinstance(entry, Commit):
+                committed.append(action)
+            elif isinstance(entry, Abort):
+                aborted.append(action)
+        self._entries = entries
+        self._begun = tuple(begun)
+        self._committed = tuple(committed)
+        self._aborted = frozenset(aborted)
+        self._hash: int | None = None
+        self._events_of: dict[Action, tuple[Event, ...]] | None = None
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Entry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> Entry:
+        return self._entries[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BehavioralHistory) and self._entries == other._entries
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._entries)
+        return self._hash
+
+    def __str__(self) -> str:
+        return "\n".join(str(entry) for entry in self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BehavioralHistory({list(map(str, self._entries))!r})"
+
+    # -- derived action information ----------------------------------------
+
+    @property
+    def entries(self) -> tuple[Entry, ...]:
+        return self._entries
+
+    @property
+    def begin_order(self) -> tuple[Action, ...]:
+        """All actions, in the order of their Begin events."""
+        return self._begun
+
+    @property
+    def commit_order(self) -> tuple[Action, ...]:
+        """Committed actions, in the order of their Commit events."""
+        return self._committed
+
+    @property
+    def committed(self) -> frozenset[Action]:
+        return frozenset(self._committed)
+
+    @property
+    def aborted(self) -> frozenset[Action]:
+        return self._aborted
+
+    @property
+    def active(self) -> frozenset[Action]:
+        """Actions that have begun but neither committed nor aborted."""
+        return frozenset(self._begun) - self.committed - self._aborted
+
+    @property
+    def actions(self) -> frozenset[Action]:
+        return frozenset(self._begun)
+
+    def ops(self) -> tuple[Op, ...]:
+        """All operation entries, in history order."""
+        return tuple(e for e in self._entries if isinstance(e, Op))
+
+    def events_of(self, action: Action) -> tuple[Event, ...]:
+        """The events executed by ``action``, in history order.
+
+        Cached on first use: serialization machinery calls this once per
+        action per serialization, which would otherwise rescan the whole
+        entry list each time.
+        """
+        if self._events_of is None:
+            collected: dict[Action, list[Event]] = {a: [] for a in self._begun}
+            for entry in self._entries:
+                if isinstance(entry, Op):
+                    collected[entry.action].append(entry.event)
+            self._events_of = {a: tuple(evs) for a, evs in collected.items()}
+        return self._events_of.get(action, ())
+
+    # -- construction helpers ----------------------------------------------
+
+    def append(self, entry: Entry) -> "BehavioralHistory":
+        """Return a new history with ``entry`` appended (well-formedness checked)."""
+        return BehavioralHistory(self._entries + (entry,))
+
+    def prefix(self, length: int) -> "BehavioralHistory":
+        """Return the prefix consisting of the first ``length`` entries."""
+        return BehavioralHistory(self._entries[:length])
+
+    def prefixes(self) -> Iterator["BehavioralHistory"]:
+        """Yield every proper and improper prefix, shortest first."""
+        for length in range(len(self._entries) + 1):
+            yield self.prefix(length)
+
+    def commit_all(self, actions: Iterable[Action]) -> "BehavioralHistory":
+        """Return a new history with Commit entries appended for ``actions``.
+
+        The actions are committed in the iteration order given, which
+        therefore fixes their relative commit-time order.
+        """
+        history = self
+        for action in actions:
+            history = history.append(Commit(action))
+        return history
+
+    @staticmethod
+    def build(*entries: Entry) -> "BehavioralHistory":
+        """Construct a history from entries given as positional arguments."""
+        return BehavioralHistory(entries)
+
+
+def run_serially(pairs: Iterable[tuple[Action, Iterable[Event]]]) -> BehavioralHistory:
+    """Build the behavioral history in which each action runs serially.
+
+    ``pairs`` is a sequence of ``(action, events)`` pairs; each action
+    begins, executes its events, and commits before the next action
+    begins.  This is the ``[h A]`` notation from the proof of Theorem 6.
+    """
+    entries: list[Entry] = []
+    for action, events in pairs:
+        entries.append(Begin(action))
+        for ev in events:
+            entries.append(Op(ev, action))
+        entries.append(Commit(action))
+    return BehavioralHistory(entries)

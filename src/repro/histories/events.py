@@ -1,0 +1,98 @@
+"""Invocations, responses, and events.
+
+An *event* is a pair consisting of an operation invocation and a response
+(paper, Section 3.1).  For example the Queue event ``Enq(x);Ok()`` pairs
+the invocation ``Enq(x)`` with the normal response ``Ok()``, and
+``Deq();Empty()`` pairs ``Deq()`` with the exceptional response
+``Empty()``.
+
+All three structures are immutable and hashable so they can be used as
+dictionary keys, set members, and members of serial histories (which are
+plain tuples of events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+#: The response kind used for normal (non-exceptional) termination.
+OK = "Ok"
+
+
+@dataclass(frozen=True, slots=True)
+class Invocation:
+    """An operation invocation: an operation name plus argument values.
+
+    Arguments must be hashable; in the bounded-model-checking kernel they
+    are drawn from each data type's small generator alphabet.
+    """
+
+    op: str
+    args: tuple[Hashable, ...] = ()
+
+    def __str__(self) -> str:
+        return f"{self.op}({', '.join(map(repr, self.args))})"
+
+
+@dataclass(frozen=True, slots=True)
+class Response:
+    """An operation response: a termination kind plus result values.
+
+    ``kind`` is :data:`OK` for normal termination, or the name of the
+    signalled exception (``"Empty"``, ``"Disabled"``, ...) otherwise —
+    following the CLU-style termination model the paper uses [19].
+    """
+
+    kind: str = OK
+    values: tuple[Hashable, ...] = ()
+
+    @property
+    def is_normal(self) -> bool:
+        """True when the response terminated with ``Ok`` (paper, Section 4)."""
+        return self.kind == OK
+
+    def __str__(self) -> str:
+        return f"{self.kind}({', '.join(map(repr, self.values))})"
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """An invocation paired with the response the object returned for it."""
+
+    inv: Invocation
+    res: Response
+
+    @property
+    def is_normal(self) -> bool:
+        """True when the event's response is normal (terminates with Ok)."""
+        return self.res.is_normal
+
+    def __str__(self) -> str:
+        return f"{self.inv};{self.res}"
+
+
+def ok(*values: Hashable) -> Response:
+    """Build a normal ``Ok(...)`` response."""
+    return Response(OK, tuple(values))
+
+
+def signal(kind: str, *values: Hashable) -> Response:
+    """Build an exceptional response of the given kind."""
+    return Response(kind, tuple(values))
+
+
+def event(op: str, args: tuple[Hashable, ...] = (), res: Response | None = None) -> Event:
+    """Build an event; the response defaults to a bare ``Ok()``."""
+    return Event(Invocation(op, args), res if res is not None else ok())
+
+
+#: A serial history is simply a tuple of events; tuples are used directly
+#: (rather than a wrapper class) so the model-checking kernel can hash,
+#: slice, and concatenate them at native speed.
+SerialHistory = tuple[Event, ...]
+
+
+def format_serial(history: SerialHistory, sep: str = "\n") -> str:
+    """Render a serial history one event per line, as the paper prints them."""
+    return sep.join(str(e) for e in history)

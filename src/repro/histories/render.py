@@ -1,0 +1,72 @@
+"""Rendering behavioral histories as per-action timelines.
+
+The paper prints behavioral histories as flat event lists; for debugging
+concurrency (and for counterexample output) a columnar timeline — one
+column per action, one row per history entry — shows interleaving at a
+glance:
+
+    time  | A               | B
+    ------+-----------------+----------------
+        0 | Begin           |
+        1 |                 | Begin
+        2 | Enq('x');Ok()   |
+        3 |                 | Deq();Ok('x')
+        4 | Commit          |
+        5 |                 | Commit
+"""
+
+from __future__ import annotations
+
+from repro.histories.behavioral import (
+    Abort,
+    Begin,
+    BehavioralHistory,
+    Commit,
+    Op,
+)
+
+
+def timeline(history: BehavioralHistory, min_width: int = 12) -> str:
+    """Render ``history`` as a per-action timeline table."""
+    actions = list(history.begin_order)
+    if not actions:
+        return "(empty history)"
+    cells: dict[str, list[str]] = {action: [] for action in actions}
+    rows: list[tuple[int, str, str]] = []
+    for index, entry in enumerate(history):
+        if isinstance(entry, Begin):
+            text = "Begin"
+        elif isinstance(entry, Commit):
+            text = "Commit"
+        elif isinstance(entry, Abort):
+            text = "Abort"
+        else:
+            assert isinstance(entry, Op)
+            text = str(entry.event)
+        rows.append((index, str(entry.action), text))
+
+    widths = {action: max(min_width, len(str(action))) for action in actions}
+    for _index, action, text in rows:
+        widths[action] = max(widths[action], len(text))
+
+    header_cells = [f"{str(a):<{widths[a]}}" for a in actions]
+    lines = [
+        "time  | " + " | ".join(header_cells),
+        "------+-" + "-+-".join("-" * widths[a] for a in actions),
+    ]
+    for index, action, text in rows:
+        row_cells = [
+            f"{text if a == action else '':<{widths[a]}}" for a in actions
+        ]
+        lines.append(f"{index:>5} | " + " | ".join(row_cells))
+    return "\n".join(lines)
+
+
+def summarize(history: BehavioralHistory) -> str:
+    """A one-line summary: action counts and outcome tallies."""
+    ops = len(history.ops())
+    return (
+        f"{len(history.actions)} actions, {ops} operations, "
+        f"{len(history.committed)} committed, {len(history.aborted)} aborted, "
+        f"{len(history.active)} active"
+    )

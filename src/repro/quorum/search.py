@@ -1,0 +1,238 @@
+"""Searching for availability-optimal threshold quorum assignments.
+
+Given a dependency relation for a type (static, hybrid, or dynamic —
+whichever local atomicity property the system enforces), the space of
+valid *threshold* assignments is characterized by simple inequalities:
+for every required pair ``inv ≥ e``,
+
+    k_initial(inv.op) ≥ 1,  k_final(e) ≥ 1,  and
+    k_initial(inv.op) + k_final(e) > n.
+
+Availability is monotonically decreasing in every threshold, so for a
+fixed vector of initial thresholds the best valid final thresholds are
+the minimal ones the inequalities allow.  The search therefore
+enumerates initial-threshold vectors only (``(n+1)^|ops|`` points),
+derives minimal finals, and collects the Pareto frontier over per-
+operation availability.  This is exactly the computation behind the
+paper's PROM example: under hybrid atomicity the frontier contains
+Read/Seal/Write quorums of sizes ``1/n/1``, while under static atomicity
+every point with single-site Reads forces ``n``-site Writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Sequence
+
+from repro.dependency.relation import DependencyRelation
+from repro.errors import QuorumError
+from repro.quorum.assignment import OperationQuorums, QuorumAssignment
+from repro.quorum.availability import operation_availability
+from repro.quorum.coterie import EmptyCoterie, ThresholdCoterie
+
+#: An event class is an ``(operation, response kind)`` pair.
+EventClass = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class ThresholdChoice:
+    """A threshold quorum assignment: one initial size per operation and
+    one final size per event class (0 = no final quorum needed)."""
+
+    n_sites: int
+    initial: tuple[tuple[str, int], ...]
+    final: tuple[tuple[EventClass, int], ...]
+
+    def initial_of(self, op: str) -> int:
+        return dict(self.initial)[op]
+
+    def final_of(self, op: str, kind: str = "Ok") -> int:
+        return dict(self.final).get((op, kind), 0)
+
+    def to_assignment(self) -> QuorumAssignment:
+        """Materialize as a :class:`QuorumAssignment`."""
+        finals = dict(self.final)
+        operations = {}
+        overrides = {}
+        for op, k_init in self.initial:
+            kinds = {kind: k for (name, kind), k in finals.items() if name == op}
+            default = max(kinds.values(), default=0)
+            operations[op] = OperationQuorums(
+                initial=self._coterie(k_init),
+                final=self._coterie(default),
+            )
+            for kind, k in kinds.items():
+                if k != default:
+                    overrides[(op, kind)] = self._coterie(k)
+        return QuorumAssignment(self.n_sites, operations, overrides)
+
+    def _coterie(self, threshold: int):
+        if threshold == 0:
+            return EmptyCoterie(self.n_sites)
+        return ThresholdCoterie(self.n_sites, threshold)
+
+    def describe(self) -> str:
+        parts = [
+            f"{op}: init {k_init}"
+            + "".join(
+                f", final[{kind}] {k}"
+                for (name, kind), k in self.final
+                if name == op
+            )
+            for op, k_init in self.initial
+        ]
+        return "; ".join(parts)
+
+
+def schema_constraints(
+    relation: DependencyRelation,
+) -> frozenset[tuple[str, EventClass]]:
+    """Project a ground relation to (invocation op, event class) constraints.
+
+    Threshold quorums cannot distinguish argument values, so grounding is
+    conservatively collapsed: any ground pair forces the intersection for
+    its whole class.
+    """
+    return frozenset(
+        (inv.op, (event.inv.op, event.res.kind)) for inv, event in relation.pairs
+    )
+
+
+def _event_class_universe(
+    relation: DependencyRelation,
+    operations: Sequence[str],
+    extra_classes: Iterable[EventClass] = (),
+) -> tuple[EventClass, ...]:
+    classes = {cls for _inv, cls in schema_constraints(relation)}
+    classes.update(extra_classes)
+    classes.update((op, "Ok") for op in operations)
+    return tuple(sorted(classes))
+
+
+def valid_threshold_choices(
+    relation: DependencyRelation,
+    n_sites: int,
+    operations: Sequence[str],
+    extra_classes: Iterable[EventClass] = (),
+) -> Iterable[ThresholdChoice]:
+    """Yield, for every initial-threshold vector, the minimal valid finals.
+
+    Every valid threshold assignment is dominated (pointwise, hence in
+    availability) by one of the yielded choices.
+    """
+    constraints = schema_constraints(relation)
+    classes = _event_class_universe(relation, operations, extra_classes)
+    needed_by_class: dict[EventClass, list[str]] = {cls: [] for cls in classes}
+    for inv_op, cls in constraints:
+        if inv_op not in operations:
+            raise QuorumError(f"relation mentions unassigned operation {inv_op!r}")
+        if cls not in needed_by_class:
+            raise QuorumError(f"relation mentions unknown event class {cls!r}")
+        needed_by_class[cls].append(inv_op)
+
+    ops = tuple(operations)
+    for vector in product(range(n_sites + 1), repeat=len(ops)):
+        initial = dict(zip(ops, vector))
+        final: dict[EventClass, int] = {}
+        feasible = True
+        for cls, dependents in needed_by_class.items():
+            if not dependents:
+                final[cls] = 0
+                continue
+            if any(initial[op] == 0 for op in dependents):
+                feasible = False  # a dependent op can never see this class
+                break
+            required = max(n_sites + 1 - initial[op] for op in dependents)
+            final[cls] = max(1, required)
+            if final[cls] > n_sites:
+                feasible = False
+                break
+        if not feasible:
+            continue
+        yield ThresholdChoice(
+            n_sites=n_sites,
+            initial=tuple(sorted(initial.items())),
+            final=tuple(sorted(final.items())),
+        )
+
+
+def _availability_vector(
+    choice: ThresholdChoice, p_up: float
+) -> tuple[tuple[str, float], ...]:
+    assignment = choice.to_assignment()
+    result = []
+    finals = dict(choice.final)
+    for op, _k in choice.initial:
+        kinds = [kind for (name, kind) in finals if name == op] or ["Ok"]
+        worst = min(
+            operation_availability(assignment, op, p_up, kind=kind) for kind in kinds
+        )
+        result.append((op, worst))
+    return tuple(result)
+
+
+def threshold_frontier(
+    relation: DependencyRelation,
+    n_sites: int,
+    operations: Sequence[str],
+    p_up: float = 0.9,
+    extra_classes: Iterable[EventClass] = (),
+) -> list[tuple[ThresholdChoice, tuple[tuple[str, float], ...]]]:
+    """The Pareto frontier of valid threshold assignments.
+
+    Returns ``(choice, availability vector)`` pairs such that no other
+    valid choice is at least as available for every operation and
+    strictly more available for one.  Each operation's availability is
+    its worst case over event classes (the conservative figure a client
+    cares about).
+    """
+    scored = [
+        (choice, _availability_vector(choice, p_up))
+        for choice in valid_threshold_choices(
+            relation, n_sites, operations, extra_classes
+        )
+    ]
+    frontier: list[tuple[ThresholdChoice, tuple[tuple[str, float], ...]]] = []
+    for choice, vector in scored:
+        values = [v for _op, v in vector]
+        dominated = False
+        for _other, other_vector in scored:
+            other_values = [v for _op, v in other_vector]
+            if all(o >= v for o, v in zip(other_values, values)) and any(
+                o > v for o, v in zip(other_values, values)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append((choice, vector))
+    # Deduplicate identical availability vectors, keeping the lexicographically
+    # smallest choice for determinism.
+    unique: dict[tuple, tuple[ThresholdChoice, tuple]] = {}
+    for choice, vector in frontier:
+        key = tuple(vector)
+        if key not in unique or str(choice) < str(unique[key][0]):
+            unique[key] = (choice, vector)
+    return sorted(unique.values(), key=lambda item: str(item[0]))
+
+
+def best_threshold_assignment(
+    relation: DependencyRelation,
+    n_sites: int,
+    operations: Sequence[str],
+    p_up: float = 0.9,
+    weights: dict[str, float] | None = None,
+    extra_classes: Iterable[EventClass] = (),
+) -> tuple[ThresholdChoice, float]:
+    """The valid threshold choice maximizing workload-weighted availability."""
+    weights = weights or {op: 1.0 for op in operations}
+    total = sum(weights.values())
+    best: tuple[ThresholdChoice, float] | None = None
+    for choice in valid_threshold_choices(relation, n_sites, operations, extra_classes):
+        vector = dict(_availability_vector(choice, p_up))
+        score = sum(weights.get(op, 0.0) * vector[op] for op in operations) / total
+        if best is None or score > best[1]:
+            best = (choice, score)
+    if best is None:
+        raise QuorumError("no valid threshold assignment exists")
+    return best

@@ -1,0 +1,45 @@
+"""Gifford-style weighted voting as a coterie constructor [11].
+
+In weighted voting each site holds a number of votes; a quorum is any
+set of sites whose votes total at least a threshold.  Weighted voting
+generalizes threshold quorums (all weights one) and subsumes
+configurations like "the primary site plus any backup".  The paper
+treats Gifford's method as a specially optimized instance of general
+quorum consensus, which is exactly what this constructor produces: an
+:class:`~repro.quorum.coterie.ExplicitCoterie` whose minimal quorums are
+the minimal vote-winning site sets.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from repro.errors import QuorumError
+from repro.quorum.coterie import Coterie, EmptyCoterie, ExplicitCoterie
+
+
+def weighted_voting_coterie(weights: Sequence[int], threshold: int) -> Coterie:
+    """The coterie of minimal site sets with total weight ≥ ``threshold``.
+
+    ``weights[i]`` is the vote count of site ``i``.  A ``threshold`` of
+    zero yields an :class:`~repro.quorum.coterie.EmptyCoterie`; a
+    threshold above the total yields an unsatisfiable coterie.
+    """
+    if any(w < 0 for w in weights):
+        raise QuorumError("vote weights must be non-negative")
+    if threshold < 0:
+        raise QuorumError("vote threshold must be non-negative")
+    n_sites = len(weights)
+    if threshold == 0:
+        return EmptyCoterie(n_sites)
+    minimal: list[frozenset[int]] = []
+    sites = range(n_sites)
+    for size in range(1, n_sites + 1):
+        for subset in combinations(sites, size):
+            candidate = frozenset(subset)
+            if any(found <= candidate for found in minimal):
+                continue
+            if sum(weights[i] for i in candidate) >= threshold:
+                minimal.append(candidate)
+    return ExplicitCoterie(n_sites, minimal)

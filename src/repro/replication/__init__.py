@@ -1,0 +1,43 @@
+"""The quorum-consensus replication runtime (paper, Section 3.2).
+
+A replicated object's state is represented as a *log* of timestamped
+events, partially replicated among *repositories*; *front-ends* carry
+out operations for clients by merging the logs of an initial quorum into
+a *view*, choosing a legal response, appending a timestamped entry, and
+sending the updated view to a final quorum.  This subpackage implements
+that architecture over the simulated network:
+
+* :mod:`repro.replication.log` — timestamped logs with idempotent,
+  commutative, associative merge;
+* :mod:`repro.replication.repository` — per-site stable storage;
+* :mod:`repro.replication.view` — merged logs plus transaction status,
+  serialized per concurrency-control scheme;
+* :mod:`repro.replication.frontend` — quorum assembly and the
+  read-modify-write operation protocol;
+* :mod:`repro.replication.object` — the client-facing replicated object.
+"""
+
+from repro.replication.log import Log, LogEntry
+from repro.replication.repository import Repository
+from repro.replication.view import View
+from repro.replication.object import ReplicatedObject, SynchronizationState
+from repro.replication.frontend import FrontEnd
+from repro.replication.available_copies import AvailableCopiesObject
+from repro.replication.antientropy import AntiEntropy
+from repro.replication.reconfig import reconfigure
+from repro.replication.snapshot import Snapshot, compact
+
+__all__ = [
+    "Log",
+    "LogEntry",
+    "Repository",
+    "View",
+    "ReplicatedObject",
+    "SynchronizationState",
+    "FrontEnd",
+    "AvailableCopiesObject",
+    "AntiEntropy",
+    "reconfigure",
+    "Snapshot",
+    "compact",
+]

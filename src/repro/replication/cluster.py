@@ -1,0 +1,118 @@
+"""Convenience wiring for complete replicated systems.
+
+Builds the full stack — simulator, network, repositories, transaction
+manager, front-ends — and replicated objects under any of the three
+concurrency-control schemes with sensible default quorum assignments.
+Examples and benchmarks use these helpers; tests mostly wire pieces by
+hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cc.hybrid import HybridCC
+from repro.cc.locking import DynamicLockingCC
+from repro.cc.static_ts import StaticTimestampCC
+from repro.dependency.relation import DependencyRelation
+from repro.errors import SpecificationError
+from repro.quorum.assignment import OperationQuorums, QuorumAssignment
+from repro.quorum.coterie import majority
+from repro.replication.frontend import FrontEnd
+from repro.replication.object import ReplicatedObject
+from repro.replication.repository import Repository
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.spec.datatype import SerialDataType
+from repro.spec.legality import LegalityOracle
+from repro.txn.manager import TransactionManager
+
+
+@dataclass
+class Cluster:
+    """A complete replicated system: one network, many objects."""
+
+    sim: Simulator
+    network: Network
+    repositories: tuple[Repository, ...]
+    tm: TransactionManager
+    frontends: tuple[FrontEnd, ...]
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.repositories)
+
+    def add_object(
+        self,
+        name: str,
+        datatype: SerialDataType,
+        scheme: str = "hybrid",
+        assignment: QuorumAssignment | None = None,
+        relation: DependencyRelation | None = None,
+        oracle: LegalityOracle | None = None,
+    ) -> ReplicatedObject:
+        """Create and register a replicated object.
+
+        ``scheme`` is ``"static"``, ``"hybrid"``, or ``"dynamic"``.  The
+        hybrid scheme needs a hybrid dependency ``relation`` for its
+        conflict table.  The default ``assignment`` gives every
+        operation majority initial and majority final quorums, which is
+        valid under any dependency relation (majorities always
+        intersect).
+        """
+        oracle = oracle or LegalityOracle(datatype)
+        if assignment is None:
+            assignment = majority_assignment(self.n_sites, datatype)
+        if scheme == "hybrid":
+            if relation is None:
+                raise SpecificationError(
+                    "hybrid scheme needs a hybrid dependency relation"
+                )
+            cc = HybridCC(datatype, relation, oracle)
+        elif scheme == "static":
+            cc = StaticTimestampCC(datatype, oracle)
+        elif scheme == "dynamic":
+            cc = DynamicLockingCC(datatype, oracle)
+        else:
+            raise SpecificationError(f"unknown concurrency-control scheme {scheme!r}")
+        obj = ReplicatedObject(name, datatype, assignment, cc, oracle)
+        return self.tm.register(obj)
+
+
+def majority_assignment(n_sites: int, datatype: SerialDataType) -> QuorumAssignment:
+    """Majority initial and final quorums for every operation.
+
+    Any two majorities intersect, so the intersection relation is total
+    and the assignment is valid under every local atomicity property —
+    the safe default when availability is not being optimized.
+    """
+    quorums = OperationQuorums(initial=majority(n_sites), final=majority(n_sites))
+    return QuorumAssignment(
+        n_sites, {op: quorums for op in datatype.operations()}
+    )
+
+
+def build_cluster(
+    n_sites: int,
+    *,
+    n_frontends: int | None = None,
+    seed: int = 0,
+    latency: float = 1.0,
+    drop_probability: float = 0.0,
+) -> Cluster:
+    """Assemble the full stack over ``n_sites`` repository sites.
+
+    Front-ends are colocated with repository sites (one each by
+    default), reflecting the paper's observation that front-ends can be
+    replicated to an arbitrary extent so availability is dominated by
+    repositories.
+    """
+    sim = Simulator(seed=seed)
+    network = Network(sim, n_sites, latency=latency, drop_probability=drop_probability)
+    repositories = tuple(Repository(site) for site in range(n_sites))
+    tm = TransactionManager()
+    count = n_frontends if n_frontends is not None else n_sites
+    frontends = tuple(
+        FrontEnd(site % n_sites, network, repositories, tm) for site in range(count)
+    )
+    return Cluster(sim, network, repositories, tm, frontends)

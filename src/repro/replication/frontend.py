@@ -1,0 +1,160 @@
+"""Front-ends: the operation protocol of quorum consensus.
+
+A client executes an operation by sending the invocation to a front-end.
+The front-end merges the logs from an initial quorum for the invocation
+to construct a view.  If the view indicates that no synchronization
+conflicts exist, the front-end chooses a response legal for the view,
+appends a timestamped entry to the view, and sends the updated view to a
+final quorum of repositories for that event (paper, Section 3.2).
+
+Front-ends can be replicated to an arbitrary extent — one per client
+site — so object availability is dominated by repository quorums, which
+is exactly what this implementation models: every read and write is an
+RPC through the simulated network that can time out on crash, loss, or
+partition.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.clocks.lamport import LamportClock
+from repro.errors import TransactionAborted, UnavailableError
+from repro.histories.events import Invocation, Response
+from repro.quorum.coterie import Coterie
+from repro.replication.log import Log, LogEntry
+from repro.replication.object import ReplicatedObject
+from repro.replication.repository import Repository
+from repro.replication.view import View
+from repro.sim.network import Network, Timeout
+from repro.txn.ids import Transaction
+from repro.txn.manager import TransactionManager
+
+
+class FrontEnd:
+    """One front-end, colocated with a client at ``site``."""
+
+    def __init__(
+        self,
+        site: int,
+        network: Network,
+        repositories: Sequence[Repository],
+        tm: TransactionManager,
+    ):
+        self.site = site
+        self.network = network
+        self.repositories = tuple(repositories)
+        self.tm = tm
+        self.clock = LamportClock(site=site)
+
+    # -- the operation protocol -----------------------------------------------
+
+    def execute(
+        self, txn: Transaction, object_name: str, invocation: Invocation
+    ) -> Response:
+        """Execute one operation for ``txn``; returns the response.
+
+        Raises :class:`~repro.errors.UnavailableError` when no initial
+        quorum can be assembled (no side effects — the caller may retry
+        or abort), :class:`~repro.errors.ConflictError` from the
+        concurrency-control scheme (no side effects), and
+        :class:`~repro.errors.TransactionAborted` when the final-quorum
+        write fails after a response was chosen (the transaction is
+        aborted to keep the partially written entry harmless).
+        """
+        obj = self.tm.object(object_name)
+        initial = obj.assignment.initial(invocation)
+        merged, base = self._read_quorum(obj, initial, invocation.op)
+        for entry in obj.sync.own_entries(txn.id):
+            merged = merged.add(entry)
+        view = View(merged, self.tm, base=base)
+        latest = view.max_timestamp()
+        if latest is not None:
+            self.clock.witness(latest)
+
+        event = obj.cc.choose_event(view, txn, invocation, obj.sync)
+
+        entry = LogEntry(self.clock.tick(), event, txn.id)
+        final = obj.assignment.final(event)
+        try:
+            self._write_quorum(obj, final, view.log.add(entry), invocation.op)
+        except UnavailableError as failure:
+            self.tm.abort(txn, reason=str(failure))
+            raise TransactionAborted(txn.id, str(failure)) from failure
+
+        obj.sync.record(txn.id, entry)
+        obj.cc.on_executed(txn, event, obj.sync)
+        txn.touched.add(object_name)
+        obj.recorder.record_op(txn, event)
+        return event.res
+
+    # -- quorum assembly ---------------------------------------------------------
+
+    def _site_order(self) -> tuple[int, ...]:
+        """Visit sites starting at our own (locality, then round-robin)."""
+        n = len(self.repositories)
+        start = self.site % n if n else 0
+        return tuple((start + offset) % n for offset in range(n))
+
+    def _read_quorum(
+        self, obj: ReplicatedObject, coterie: Coterie, op_name: str
+    ) -> tuple[Log, object]:
+        """Merge logs (and the best compaction snapshot) from an initial quorum.
+
+        Returns ``(log, snapshot_or_None)``; entries covered by the
+        snapshot are filtered out (a lagging repository may still hold
+        them).
+        """
+        responders: set[int] = set()
+        merged = Log()
+        best = None
+        if coterie.has_quorum(frozenset()):
+            return merged, None
+        for site in self._site_order():
+            try:
+                fragment, snapshot = self.network.request(
+                    self.site,
+                    site,
+                    lambda s=site: (
+                        self.repositories[s].read_log(obj.name),
+                        self.repositories[s].read_snapshot(obj.name),
+                    ),
+                )
+            except Timeout:
+                continue
+            merged = merged.merge(fragment)
+            if snapshot is not None and snapshot.subsumes(best):
+                best = snapshot
+            responders.add(site)
+            if coterie.has_quorum(frozenset(responders)):
+                if best is not None:
+                    merged = Log(
+                        entry
+                        for entry in merged
+                        if entry.action not in best.dropped
+                    )
+                return merged, best
+        missing = frozenset(range(len(self.repositories))) - responders
+        raise UnavailableError(op_name, missing)
+
+    def _write_quorum(
+        self, obj: ReplicatedObject, coterie: Coterie, update: Log, op_name: str
+    ) -> None:
+        """Write the updated view until a final quorum acknowledges."""
+        acks: set[int] = set()
+        if coterie.has_quorum(frozenset()):
+            return
+        for site in self._site_order():
+            try:
+                self.network.request(
+                    self.site,
+                    site,
+                    lambda s=site: self.repositories[s].write_log(obj.name, update),
+                )
+            except Timeout:
+                continue
+            acks.add(site)
+            if coterie.has_quorum(frozenset(acks)):
+                return
+        missing = frozenset(range(len(self.repositories))) - acks
+        raise UnavailableError(op_name, missing)

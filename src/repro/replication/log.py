@@ -1,0 +1,101 @@
+"""Timestamped event logs (paper, Figure 3-1).
+
+A replicated object's state is a log: a sequence of entries, each
+consisting of a timestamp, an event, and an action identifier.  Logs are
+partially replicated among repositories; a front-end reconstructs a
+view by *merging* the logs of an initial quorum.  Merge is a set union
+ordered by timestamp, which makes it idempotent, commutative, and
+associative — the properties the hypothesis test suite checks, since
+they are what make quorum consensus insensitive to how a view was
+assembled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.clocks.timestamps import Timestamp
+from repro.histories.events import Event
+from repro.txn.ids import ActionId
+
+
+@dataclass(frozen=True, slots=True)
+class LogEntry:
+    """One log record: when, what, and on whose behalf."""
+
+    ts: Timestamp
+    event: Event
+    action: ActionId
+
+    def __str__(self) -> str:
+        return f"[{self.ts}] {self.event} {self.action}"
+
+
+class Log:
+    """An immutable-by-convention set of entries ordered by timestamp.
+
+    Lamport timestamps (counter, site) are unique per entry in a correct
+    run; merge tolerates duplicates by keying on the full entry.
+    """
+
+    __slots__ = ("_entries", "_ordered", "_by_action")
+
+    def __init__(self, entries: Iterable[LogEntry] = ()):
+        self._entries: frozenset[LogEntry] = frozenset(entries)
+        # Lazy caches; logs are immutable so both are computed at most once.
+        self._ordered: tuple[LogEntry, ...] | None = None
+        self._by_action: dict[ActionId, tuple[LogEntry, ...]] | None = None
+
+    def merge(self, other: "Log") -> "Log":
+        """The least upper bound of two logs (set union)."""
+        if other._entries <= self._entries:
+            return self
+        if self._entries <= other._entries:
+            return other
+        return Log(self._entries | other._entries)
+
+    def add(self, entry: LogEntry) -> "Log":
+        if entry in self._entries:
+            return self
+        return Log(self._entries | {entry})
+
+    def ordered(self) -> tuple[LogEntry, ...]:
+        """Entries sorted by timestamp (total order; site breaks ties)."""
+        if self._ordered is None:
+            self._ordered = tuple(
+                sorted(self._entries, key=lambda e: (e.ts, e.action.seq))
+            )
+        return self._ordered
+
+    def entries_of(self, action: ActionId) -> tuple[LogEntry, ...]:
+        if self._by_action is None:
+            grouped: dict[ActionId, list[LogEntry]] = {}
+            for entry in self.ordered():
+                grouped.setdefault(entry.action, []).append(entry)
+            self._by_action = {a: tuple(es) for a, es in grouped.items()}
+        return self._by_action.get(action, ())
+
+    def actions(self) -> frozenset[ActionId]:
+        return frozenset(e.action for e in self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self.ordered())
+
+    def __contains__(self, entry: LogEntry) -> bool:
+        return entry in self._entries
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Log) and self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __str__(self) -> str:
+        return "\n".join(str(e) for e in self.ordered())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Log({len(self._entries)} entries)"

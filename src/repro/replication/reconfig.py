@@ -1,0 +1,192 @@
+"""Quorum reconfiguration: changing an object's quorum assignment online.
+
+The paper's Section 2 discusses reconfiguration-based methods (the
+true-copy token scheme moves "true copies" around to adapt to access
+patterns).  Quorum consensus supports the same adaptivity by *changing
+the quorum assignment*: a deployment can shift between, say,
+read-optimized (`1/n`) and write-optimized (`n/1`) layouts as the
+workload changes, as long as the hand-over preserves the quorum
+intersection invariants.
+
+The hand-over rule implemented here:
+
+1. **Drain the old configuration** — read the logs of a site set that
+   intersects *every final quorum of the old assignment*, so the merged
+   view provably contains every event any past operation installed.
+2. **Prime the new configuration** — write that complete view to a site
+   set that intersects *every initial quorum of the new assignment*, so
+   every future view is guaranteed to include the pre-reconfiguration
+   history regardless of which quorum it reads.
+3. Atomically switch the object's assignment (assignment metadata is
+   kept with the transaction-manager state, reliable by the same
+   modeling convention as transaction status).
+
+Both site sets are *transversals* (hitting sets) of coteries; for a
+threshold coterie of ``k`` of ``n`` the cheapest transversal is any
+``n - k + 1`` sites, and for explicit coteries a greedy hitting set is
+computed.  If the live sites contain no transversal the reconfiguration
+raises :class:`~repro.errors.UnavailableError` and changes nothing.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+
+from repro.errors import QuorumError, UnavailableError
+from repro.quorum.assignment import QuorumAssignment
+from repro.quorum.coterie import Coterie, EmptyCoterie, ThresholdCoterie
+from repro.replication.log import Log
+from repro.replication.object import ReplicatedObject
+from repro.sim.network import Network, Timeout
+
+
+def transversal_size(coterie: Coterie) -> int | None:
+    """The size of the cheapest site set intersecting every quorum.
+
+    ``None`` when the coterie has a quorum that cannot be hit (an
+    :class:`EmptyCoterie`'s empty quorum intersects nothing).
+    """
+    if isinstance(coterie, EmptyCoterie):
+        return None
+    if isinstance(coterie, ThresholdCoterie):
+        if coterie.threshold == 0:
+            return None
+        return coterie.n_sites - coterie.threshold + 1
+    quorums = list(coterie.quorums())
+    if not quorums:
+        return 0  # no quorums: vacuously hit
+    if any(not quorum for quorum in quorums):
+        return None
+    for size in range(1, coterie.n_sites + 1):
+        for candidate in combinations(range(coterie.n_sites), size):
+            chosen = frozenset(candidate)
+            if all(chosen & quorum for quorum in quorums):
+                return size
+    return None  # pragma: no cover - unreachable for well-formed coteries
+
+
+def is_transversal(coterie: Coterie, sites: frozenset[int]) -> bool:
+    """Does ``sites`` intersect every quorum of ``coterie``?
+
+    An :class:`EmptyCoterie` (or zero threshold) has the empty set as a
+    quorum, which no site set intersects — but nothing was ever written
+    under it either, so for hand-over purposes it needs no coverage;
+    callers filter those out via :func:`needs_coverage`.
+    """
+    if isinstance(coterie, ThresholdCoterie):
+        if coterie.threshold == 0:
+            return False
+        return len(sites) >= coterie.n_sites - coterie.threshold + 1
+    return all(sites & quorum for quorum in coterie.quorums())
+
+
+def needs_coverage(coterie: Coterie) -> bool:
+    """Whether the hand-over must hit this coterie at all.
+
+    Final coteries with an empty quorum record nothing anywhere (their
+    events live only in views), and unsatisfiable coteries admit no
+    operations; neither constrains the hand-over.
+    """
+    if isinstance(coterie, EmptyCoterie):
+        return False
+    if isinstance(coterie, ThresholdCoterie):
+        return coterie.threshold > 0
+    quorums = list(coterie.quorums())
+    return bool(quorums) and all(quorum for quorum in quorums)
+
+
+def reconfigure(
+    network: Network,
+    repositories,
+    obj: ReplicatedObject,
+    new_assignment: QuorumAssignment,
+    coordinator_site: int = 0,
+) -> None:
+    """Switch ``obj`` to ``new_assignment`` with a safe log hand-over.
+
+    Raises :class:`UnavailableError` (leaving the old assignment in
+    force) when the reachable sites cannot drain the old configuration
+    or prime the new one.
+    """
+    if new_assignment.n_sites != obj.assignment.n_sites:
+        raise QuorumError("reconfiguration cannot change the site universe")
+
+    old_finals = [
+        coterie
+        for coterie in obj.assignment.final_coteries()
+        if needs_coverage(coterie)
+    ]
+    new_initials = [
+        coterie
+        for coterie in new_assignment.initial_coteries()
+        if needs_coverage(coterie)
+    ]
+
+    # Phase 1: drain — merge logs (and the best compaction snapshot) from
+    # reachable sites until they form a transversal of every old final
+    # coterie.  Without the snapshot, a primed site that was unreachable
+    # during a past compaction could end up holding neither the folded
+    # entries nor the state that subsumes them.
+    reached: set[int] = set()
+    merged = Log()
+    best_snapshot = None
+    order = [
+        (coordinator_site + offset) % network.n_sites
+        for offset in range(network.n_sites)
+    ]
+    for site in order:
+        if all(is_transversal(c, frozenset(reached)) for c in old_finals):
+            break
+        try:
+            fragment, snapshot = network.request(
+                coordinator_site,
+                site,
+                lambda s=site: (
+                    repositories[s].read_log(obj.name),
+                    repositories[s].read_snapshot(obj.name),
+                ),
+            )
+        except Timeout:
+            continue
+        merged = merged.merge(fragment)
+        if snapshot is not None and snapshot.subsumes(best_snapshot):
+            best_snapshot = snapshot
+        reached.add(site)
+    if not all(is_transversal(c, frozenset(reached)) for c in old_finals):
+        raise UnavailableError(
+            "reconfigure", frozenset(range(network.n_sites)) - reached
+        )
+    if best_snapshot is not None:
+        merged = Log(
+            entry for entry in merged if entry.action not in best_snapshot.dropped
+        )
+
+    # Phase 2: prime — install the complete view (snapshot first, then
+    # the residual log) on a transversal of every new initial coterie.
+    acked: set[int] = set()
+    for site in order:
+        if all(is_transversal(c, frozenset(acked)) for c in new_initials):
+            break
+        try:
+            network.request(
+                coordinator_site,
+                site,
+                lambda s=site: _prime(repositories[s], obj.name, best_snapshot, merged),
+            )
+        except Timeout:
+            continue
+        acked.add(site)
+    if not all(is_transversal(c, frozenset(acked)) for c in new_initials):
+        raise UnavailableError(
+            "reconfigure", frozenset(range(network.n_sites)) - acked
+        )
+
+    # Phase 3: switch.
+    obj.assignment = new_assignment
+
+
+def _prime(repository, object_name: str, snapshot, merged: Log) -> None:
+    """Install the hand-over state at one repository."""
+    if snapshot is not None:
+        repository.install_snapshot(object_name, snapshot)
+    repository.write_log(object_name, merged)

@@ -1,0 +1,79 @@
+"""Repositories: per-site stable storage for replicated object logs.
+
+Repositories provide long-term storage for object state (paper,
+Section 3.2).  Each repository lives at one site and stores, per object,
+the subset of the object's log entries that final quorums have written
+to it.  Storage is *stable*: a crash makes the repository unreachable
+but loses nothing; on recovery it serves its pre-crash state (recovered
+sites catch up naturally the next time they participate in a final
+quorum, because writes carry whole updated views).
+"""
+
+from __future__ import annotations
+
+from repro.replication.log import Log, LogEntry
+
+
+class Repository:
+    """Stable per-site log storage, addressed through the network fabric."""
+
+    def __init__(self, site: int):
+        self.site = site
+        self._logs: dict[str, Log] = {}
+        #: Compacted prefixes, per object (see repro.replication.snapshot).
+        self._snapshots: dict[str, object] = {}
+        self.reads_served = 0
+        self.writes_served = 0
+
+    def read_log(self, object_name: str) -> Log:
+        """Serve this repository's fragment of an object's log."""
+        self.reads_served += 1
+        return self._logs.get(object_name, Log())
+
+    def write_log(self, object_name: str, update: Log) -> None:
+        """Merge a view written by a front-end into stable storage.
+
+        Entries already folded into this repository's snapshot are not
+        re-admitted (a stale writer may ship them back).
+        """
+        self.writes_served += 1
+        snapshot = self._snapshots.get(object_name)
+        if snapshot is not None:
+            update = Log(
+                entry for entry in update if entry.action not in snapshot.dropped
+            )
+        current = self._logs.get(object_name, Log())
+        self._logs[object_name] = current.merge(update)
+
+    # -- compaction ---------------------------------------------------------
+
+    def read_snapshot(self, object_name: str):
+        """The snapshot this repository's log sits on, or ``None``."""
+        return self._snapshots.get(object_name)
+
+    def install_snapshot(self, object_name: str, snapshot) -> None:
+        """Adopt a snapshot and drop the entries it covers.
+
+        Installing an older (subsumed) snapshot over a newer one is a
+        no-op — installation is monotone in coverage.
+        """
+        current = self._snapshots.get(object_name)
+        if current is not None and not snapshot.subsumes(current):
+            return
+        self._snapshots[object_name] = snapshot
+        log = self._logs.get(object_name, Log())
+        self._logs[object_name] = Log(
+            entry for entry in log if entry.action not in snapshot.dropped
+        )
+
+    def append_entry(self, object_name: str, entry: LogEntry) -> None:
+        """Merge a single entry (used by anti-entropy and tests)."""
+        self.writes_served += 1
+        current = self._logs.get(object_name, Log())
+        self._logs[object_name] = current.add(entry)
+
+    def stored_objects(self) -> tuple[str, ...]:
+        return tuple(sorted(self._logs))
+
+    def entry_count(self, object_name: str) -> int:
+        return len(self._logs.get(object_name, Log()))

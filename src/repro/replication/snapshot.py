@@ -1,0 +1,200 @@
+"""Log compaction: folding committed prefixes into snapshot states.
+
+A replicated object's log grows without bound; real deployments
+truncate it.  Quorum consensus permits a type-safe compaction: replay
+the events of *committed* actions (in commit-timestamp order) into a
+single state value, record which actions it covers, and let views start
+from that state instead of the folded entries.  Entries of aborted
+actions are simply discarded (they never serialize); entries of active
+actions are retained verbatim.
+
+Soundness requires the serialization order to put every covered action
+before everything that comes later, which holds for the commit-order
+properties (hybrid, strong dynamic: any action still active at
+compaction time commits afterwards, hence serializes after the
+snapshot) but **not** for static atomicity, where a transaction that
+began before the compacted actions may still serialize *between* them.
+:func:`compact` therefore refuses objects running the static scheme.
+
+Like reconfiguration, compaction is a quiesced, administrative
+operation: it drains a transversal of every final coterie (so the
+merged log provably contains every committed event), computes the
+snapshot, and installs it on every reachable repository, which drop
+their covered entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.clocks.timestamps import Timestamp
+from repro.errors import SpecificationError, UnavailableError
+from repro.replication.log import Log, LogEntry
+from repro.replication.object import ReplicatedObject
+from repro.replication.reconfig import is_transversal, needs_coverage
+from repro.replication.view import StatusSource
+from repro.sim.network import Network, Timeout
+from repro.txn.ids import ActionId, TxnStatus
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A folded committed prefix: state, coverage, and bookkeeping."""
+
+    #: The object state after replaying the covered actions' events in
+    #: commit-timestamp order.
+    state: Hashable
+    #: Actions whose events the snapshot subsumes.
+    covered: frozenset[ActionId]
+    #: Commit timestamp of the last covered action (diagnostics).
+    last_commit_ts: Timestamp | None
+    #: How many log entries were folded (diagnostics).
+    events_folded: int
+    #: Aborted actions whose entries are garbage (never serialize).
+    discarded: frozenset[ActionId] = frozenset()
+
+    def subsumes(self, other: "Snapshot | None") -> bool:
+        return other is None or (
+            other.covered <= self.covered
+            and other.discarded <= self.discarded
+        )
+
+    @property
+    def dropped(self) -> frozenset[ActionId]:
+        """Every action whose entries repositories may discard."""
+        return self.covered | self.discarded
+
+
+def build_snapshot(
+    obj: ReplicatedObject,
+    merged: Log,
+    statuses: StatusSource,
+    base: Snapshot | None = None,
+) -> Snapshot | None:
+    """Fold the committed actions of ``merged`` into a snapshot.
+
+    Returns ``None`` when there is nothing new to fold.  ``base`` is the
+    snapshot the log already sits on (its state seeds the replay).
+    """
+    committed = sorted(
+        (
+            action
+            for action in merged.actions()
+            if statuses.status_of(action) is TxnStatus.COMMITTED
+        ),
+        key=lambda a: statuses.commit_ts_of(a),
+    )
+    aborted = frozenset(
+        action
+        for action in merged.actions()
+        if statuses.status_of(action) is TxnStatus.ABORTED
+    )
+    if base is not None:
+        aborted |= base.discarded
+    if not committed and not (aborted - (base.discarded if base else frozenset())):
+        return None  # nothing new to fold or discard
+    state = base.state if base is not None else obj.datatype.initial_state()
+    covered = set(base.covered) if base is not None else set()
+    folded = base.events_folded if base is not None else 0
+    last_ts = base.last_commit_ts if base is not None else None
+    for action in committed:
+        for entry in merged.entries_of(action):
+            outcomes = [
+                next_state
+                for response, next_state in obj.datatype.apply(
+                    state, entry.event.inv
+                )
+                if response == entry.event.res
+            ]
+            if not outcomes:
+                raise SpecificationError(
+                    f"compaction replay diverged at {entry} — the log is "
+                    "not a legal commit-order serialization"
+                )
+            state = outcomes[0]
+            folded += 1
+        covered.add(action)
+        last_ts = statuses.commit_ts_of(action)
+    if base is not None and covered == base.covered and aborted == base.discarded:
+        return None
+    return Snapshot(
+        state=state,
+        covered=frozenset(covered),
+        discarded=aborted,
+        last_commit_ts=last_ts,
+        events_folded=folded,
+    )
+
+
+def compact(
+    network: Network,
+    repositories,
+    obj: ReplicatedObject,
+    statuses: StatusSource,
+    coordinator_site: int = 0,
+) -> Snapshot | None:
+    """Compact ``obj``'s logs cluster-wide; returns the installed snapshot.
+
+    Raises :class:`UnavailableError` when the live sites cannot drain
+    every final coterie, and :class:`SpecificationError` for objects
+    whose scheme does not serialize in commit order.
+    """
+    if obj.cc.serialization_order != "commit":
+        raise SpecificationError(
+            "log compaction requires a commit-order scheme (hybrid or "
+            "dynamic); static atomicity may serialize old transactions "
+            "between compacted ones"
+        )
+    finals = [c for c in obj.assignment.final_coteries() if needs_coverage(c)]
+    order = [
+        (coordinator_site + offset) % network.n_sites
+        for offset in range(network.n_sites)
+    ]
+
+    reached: set[int] = set()
+    merged = Log()
+    best_base: Snapshot | None = None
+    for site in order:
+        if all(is_transversal(c, frozenset(reached)) for c in finals):
+            break
+        try:
+            fragment, base = network.request(
+                coordinator_site,
+                site,
+                lambda s=site: (
+                    repositories[s].read_log(obj.name),
+                    repositories[s].read_snapshot(obj.name),
+                ),
+            )
+        except Timeout:
+            continue
+        merged = merged.merge(fragment)
+        if base is not None and base.subsumes(best_base):
+            best_base = base
+        reached.add(site)
+    if not all(is_transversal(c, frozenset(reached)) for c in finals):
+        raise UnavailableError(
+            "compact", frozenset(range(network.n_sites)) - reached
+        )
+
+    # Entries already covered or discarded by the base are not replayed.
+    if best_base is not None:
+        merged = Log(
+            entry for entry in merged if entry.action not in best_base.dropped
+        )
+    snapshot = build_snapshot(obj, merged, statuses, best_base)
+    if snapshot is None:
+        return None
+    for site in order:
+        try:
+            network.request(
+                coordinator_site,
+                site,
+                lambda s=site: repositories[s].install_snapshot(
+                    obj.name, snapshot
+                ),
+            )
+        except Timeout:
+            continue
+    return snapshot

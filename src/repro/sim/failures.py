@@ -1,0 +1,148 @@
+"""Failure injection: scripted and stochastic crashes and partitions.
+
+Two styles are provided:
+
+* :class:`FailureScript` — deterministic timed failures ("at t=50 crash
+  site 2; at t=90 heal the partition"), for targeted tests;
+* :class:`CrashInjector` / :class:`PartitionInjector` — stochastic
+  background processes with exponential inter-failure and repair times,
+  for availability benchmarks.  Stochastic injectors draw from the
+  simulator's seeded RNG and are therefore reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scripted failure action."""
+
+    time: float
+    kind: str  # "crash" | "recover" | "partition" | "heal"
+    sites: tuple[int, ...] = ()
+    groups: tuple[tuple[int, ...], ...] = ()
+
+
+class FailureScript:
+    """Deterministic, timed failure schedule."""
+
+    def __init__(self, network: Network, events: Iterable[FailureEvent]):
+        self.network = network
+        self.events = tuple(sorted(events, key=lambda e: e.time))
+
+    def install(self) -> None:
+        """Schedule every scripted event on the simulator."""
+        for event in self.events:
+            self.network.sim.schedule_at(event.time, self._apply(event))
+
+    def _apply(self, event: FailureEvent):
+        network = self.network
+
+        def run() -> None:
+            if event.kind == "crash":
+                for site in event.sites:
+                    network.crash(site)
+            elif event.kind == "recover":
+                for site in event.sites:
+                    network.recover(site)
+            elif event.kind == "partition":
+                network.partition(*event.groups)
+            elif event.kind == "heal":
+                network.heal()
+            else:  # pragma: no cover - guarded by construction
+                raise ValueError(f"unknown failure kind {event.kind!r}")
+
+        return run
+
+
+class CrashInjector:
+    """Stochastic crash/recovery process for every site.
+
+    Each up site crashes with exponential rate ``1 / mean_uptime`` and
+    each down site recovers with rate ``1 / mean_downtime``.  The
+    long-run per-site availability is therefore
+    ``mean_uptime / (mean_uptime + mean_downtime)``, which benchmarks
+    match against the analytic quorum availability.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        mean_uptime: float,
+        mean_downtime: float,
+        sites: Sequence[int] | None = None,
+    ):
+        self.network = network
+        self.mean_uptime = mean_uptime
+        self.mean_downtime = mean_downtime
+        self.sites = tuple(sites if sites is not None else range(network.n_sites))
+
+    def install(self) -> None:
+        for site in self.sites:
+            self._schedule_crash(site)
+
+    def _schedule_crash(self, site: int) -> None:
+        sim = self.network.sim
+        delay = sim.rng.expovariate(1.0 / self.mean_uptime)
+
+        def crash() -> None:
+            self.network.crash(site)
+            self._schedule_recovery(site)
+
+        sim.schedule(delay, crash)
+
+    def _schedule_recovery(self, site: int) -> None:
+        sim = self.network.sim
+        delay = sim.rng.expovariate(1.0 / self.mean_downtime)
+
+        def recover() -> None:
+            self.network.recover(site)
+            self._schedule_crash(site)
+
+        sim.schedule(delay, recover)
+
+
+class PartitionInjector:
+    """Stochastic partition process: random splits that later heal."""
+
+    def __init__(
+        self,
+        network: Network,
+        mean_interval: float,
+        mean_duration: float,
+    ):
+        self.network = network
+        self.mean_interval = mean_interval
+        self.mean_duration = mean_duration
+
+    def install(self) -> None:
+        self._schedule_partition()
+
+    def _schedule_partition(self) -> None:
+        sim = self.network.sim
+        delay = sim.rng.expovariate(1.0 / self.mean_interval)
+
+        def split() -> None:
+            sites = list(range(self.network.n_sites))
+            sim.rng.shuffle(sites)
+            cut = sim.rng.randint(1, max(1, len(sites) - 1))
+            self.network.partition(sites[:cut], sites[cut:])
+            self._schedule_heal()
+
+        sim.schedule(delay, split)
+
+    def _schedule_heal(self) -> None:
+        sim = self.network.sim
+        delay = sim.rng.expovariate(1.0 / self.mean_duration)
+
+        def heal() -> None:
+            self.network.heal()
+            self._schedule_partition()
+
+        sim.schedule(delay, heal)

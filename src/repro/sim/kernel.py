@@ -1,0 +1,108 @@
+"""The discrete-event simulation kernel.
+
+A minimal, deterministic event loop: callbacks are scheduled at absolute
+or relative simulated times and executed in time order, with a
+monotonically increasing sequence number breaking ties so that two
+events at the same instant always run in scheduling order.  All
+randomness flows through the kernel's seeded :class:`random.Random`, so
+a run is a pure function of its seed and configuration.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Scheduled:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """A deterministic event-driven clock."""
+
+    def __init__(self, seed: int = 0):
+        self._queue: list[_Scheduled] = []
+        self._seq = 0
+        self.now = 0.0
+        #: The single source of randomness for the whole simulation.
+        self.rng = random.Random(seed)
+        self._running = False
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _Scheduled:
+        """Run ``callback`` at ``now + delay``; returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} into the past")
+        event = _Scheduled(self.now + delay, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> _Scheduled:
+        """Run ``callback`` at absolute simulated ``time``."""
+        return self.schedule(time - self.now, callback)
+
+    @staticmethod
+    def cancel(event: _Scheduled) -> None:
+        """Cancel a scheduled event (no-op if it already ran)."""
+        event.cancelled = True
+
+    def advance(self, delta: float) -> None:
+        """Advance the clock without dispatching (models local work time)."""
+        if delta < 0:
+            raise SimulationError("time cannot move backwards")
+        self.now += delta
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Dispatch events in time order; returns the number dispatched.
+
+        Stops when the queue empties, the next event lies beyond
+        ``until``, or ``max_events`` have run.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        dispatched = 0
+        try:
+            while self._queue:
+                if max_events is not None and dispatched >= max_events:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self.now = max(self.now, event.time)
+                event.callback()
+                dispatched += 1
+            if until is not None:
+                self.now = max(self.now, until)
+        finally:
+            self._running = False
+        return dispatched
+
+    def drain(self) -> int:
+        """Dispatch everything due at or before the current time.
+
+        Safe to call from code running outside the event loop (e.g. the
+        synchronous RPC path); a no-op when called re-entrantly from
+        within a dispatched event.
+        """
+        if self._running:
+            return 0
+        return self.run(until=self.now)
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)

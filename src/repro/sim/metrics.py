@@ -1,0 +1,107 @@
+"""Measurement for simulation runs.
+
+A :class:`MetricRecorder` accumulates per-operation counters —
+successes, unavailability (no quorum), concurrency-control conflicts,
+aborts — plus latency samples, and renders summary tables the benchmarks
+print.  Counters are plain dictionaries so benchmarks can post-process
+them freely.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from statistics import mean
+
+
+@dataclass
+class MetricRecorder:
+    """Accumulates outcome counters keyed by (operation, outcome)."""
+
+    outcomes: Counter = field(default_factory=Counter)
+    latencies: dict[str, list[float]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+    committed_transactions: int = 0
+    aborted_transactions: int = 0
+
+    OUTCOMES = ("ok", "unavailable", "conflict", "aborted")
+
+    def record(self, operation: str, outcome: str, latency: float | None = None) -> None:
+        if outcome not in self.OUTCOMES:
+            raise ValueError(f"unknown outcome {outcome!r}")
+        self.outcomes[(operation, outcome)] += 1
+        if latency is not None:
+            self.latencies[operation].append(latency)
+
+    def record_commit(self) -> None:
+        self.committed_transactions += 1
+
+    def record_abort(self) -> None:
+        self.aborted_transactions += 1
+
+    # -- derived figures -----------------------------------------------------
+
+    def attempts(self, operation: str) -> int:
+        return sum(
+            count
+            for (op, _outcome), count in self.outcomes.items()
+            if op == operation
+        )
+
+    def count(self, operation: str, outcome: str) -> int:
+        return self.outcomes[(operation, outcome)]
+
+    def availability(self, operation: str) -> float:
+        """Fraction of attempts that found quorums (ok or CC-level outcome)."""
+        attempts = self.attempts(operation)
+        if attempts == 0:
+            return float("nan")
+        unavailable = self.count(operation, "unavailable")
+        return 1.0 - unavailable / attempts
+
+    def success_rate(self, operation: str) -> float:
+        attempts = self.attempts(operation)
+        if attempts == 0:
+            return float("nan")
+        return self.count(operation, "ok") / attempts
+
+    def conflict_rate(self, operation: str) -> float:
+        attempts = self.attempts(operation)
+        if attempts == 0:
+            return float("nan")
+        return self.count(operation, "conflict") / attempts
+
+    def commit_rate(self) -> float:
+        total = self.committed_transactions + self.aborted_transactions
+        if total == 0:
+            return float("nan")
+        return self.committed_transactions / total
+
+    def operations(self) -> tuple[str, ...]:
+        return tuple(sorted({op for op, _outcome in self.outcomes}))
+
+    def mean_latency(self, operation: str) -> float:
+        samples = self.latencies.get(operation, [])
+        return mean(samples) if samples else float("nan")
+
+    def table(self) -> str:
+        """A fixed-width summary table, one row per operation."""
+        header = (
+            f"{'operation':<12} {'attempts':>8} {'ok':>8} {'unavail':>8} "
+            f"{'conflict':>8} {'avail%':>8} {'ok%':>8}"
+        )
+        rows = [header, "-" * len(header)]
+        for op in self.operations():
+            rows.append(
+                f"{op:<12} {self.attempts(op):>8} {self.count(op, 'ok'):>8} "
+                f"{self.count(op, 'unavailable'):>8} {self.count(op, 'conflict'):>8} "
+                f"{100 * self.availability(op):>7.2f}% {100 * self.success_rate(op):>7.2f}%"
+            )
+        if self.committed_transactions or self.aborted_transactions:
+            rows.append(
+                f"transactions: {self.committed_transactions} committed, "
+                f"{self.aborted_transactions} aborted "
+                f"({100 * self.commit_rate():.2f}% commit rate)"
+            )
+        return "\n".join(rows)

@@ -1,0 +1,160 @@
+"""The simulated site-and-network fabric.
+
+Sites crash and recover; communication links lose messages and can
+partition the functioning sites into groups that cannot reach each other
+(paper, Section 3).  The fabric exposes two communication styles:
+
+* :meth:`Network.request` — a synchronous RPC used by front-ends to read
+  and write repository state.  It consults crash and partition state,
+  may lose the request or the reply (indistinguishable to the caller, as
+  the paper notes: "the absence of a response may indicate that the
+  original message was lost, that the reply was lost, that the recipient
+  has crashed, or simply that the recipient is slow"), charges simulated
+  latency, and raises :class:`Timeout` on failure.
+* :meth:`Network.send` — an asynchronous message scheduled through the
+  kernel, used by failure injectors and background anti-entropy.
+
+Both styles draw from the simulator's seeded RNG, so behaviour is
+deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+class Timeout(Exception):
+    """An RPC got no response: lost message, crash, or partition."""
+
+    def __init__(self, destination: int):
+        super().__init__(f"no response from site {destination}")
+        self.destination = destination
+
+
+class Network:
+    """Crash, partition, and loss state for a fixed universe of sites."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_sites: int,
+        latency: float = 1.0,
+        drop_probability: float = 0.0,
+    ):
+        if n_sites <= 0:
+            raise SimulationError("network needs at least one site")
+        if not 0.0 <= drop_probability < 1.0:
+            raise SimulationError("drop probability must be in [0, 1)")
+        self.sim = sim
+        self.n_sites = n_sites
+        self.latency = latency
+        self.drop_probability = drop_probability
+        self._crashed: set[int] = set()
+        #: Partition groups: a list of disjoint site sets.  Sites in no
+        #: group are mutually reachable (the default, un-partitioned state).
+        self._groups: list[frozenset[int]] = []
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    # -- failure state -----------------------------------------------------
+
+    def crash(self, site: int) -> None:
+        self._check_site(site)
+        self._crashed.add(site)
+
+    def recover(self, site: int) -> None:
+        self._check_site(site)
+        self._crashed.discard(site)
+
+    def is_up(self, site: int) -> bool:
+        self._check_site(site)
+        return site not in self._crashed
+
+    @property
+    def crashed_sites(self) -> frozenset[int]:
+        return frozenset(self._crashed)
+
+    def partition(self, *groups) -> None:
+        """Split the network into the given disjoint groups.
+
+        Sites in different groups cannot exchange messages; sites
+        omitted from every group form an implicit final group together.
+        """
+        sets = [frozenset(g) for g in groups]
+        seen: set[int] = set()
+        for group in sets:
+            for site in group:
+                self._check_site(site)
+                if site in seen:
+                    raise SimulationError(f"site {site} in two partition groups")
+                seen.add(site)
+        rest = frozenset(range(self.n_sites)) - seen
+        if rest:
+            sets.append(rest)
+        self._groups = sets
+
+    def heal(self) -> None:
+        """Remove all partitions (crashed sites stay crashed)."""
+        self._groups = []
+
+    def reachable(self, src: int, dst: int) -> bool:
+        """Can a message flow from ``src`` to ``dst`` right now?"""
+        self._check_site(src)
+        self._check_site(dst)
+        if src in self._crashed or dst in self._crashed:
+            return False
+        if src == dst or not self._groups:
+            return True
+        return any(src in group and dst in group for group in self._groups)
+
+    # -- communication -------------------------------------------------------
+
+    def request(self, src: int, dst: int, handler: Callable[[], Any]) -> Any:
+        """Synchronous RPC: run ``handler`` at ``dst`` and return its result.
+
+        Charges two message latencies; raises :class:`Timeout` when the
+        destination is unreachable or either direction loses the message.
+        """
+        self.messages_sent += 1
+        self.sim.advance(self.latency)
+        self.sim.drain()  # apply failures due while the message travelled
+        if not self.reachable(src, dst) or self._lost():
+            self.messages_dropped += 1
+            raise Timeout(dst)
+        result = handler()
+        self.messages_sent += 1
+        self.sim.advance(self.latency)
+        self.sim.drain()
+        if not self.reachable(dst, src) or self._lost():
+            self.messages_dropped += 1
+            raise Timeout(dst)
+        return result
+
+    def send(self, src: int, dst: int, deliver: Callable[[], None]) -> None:
+        """Asynchronous one-way message through the event queue."""
+        self.messages_sent += 1
+        if not self.reachable(src, dst) or self._lost():
+            self.messages_dropped += 1
+            return
+        delay = self.latency
+        self.sim.schedule(delay, self._guarded(dst, deliver))
+
+    def _guarded(self, dst: int, deliver: Callable[[], None]) -> Callable[[], None]:
+        def run() -> None:
+            if dst not in self._crashed:
+                deliver()
+
+        return run
+
+    def _lost(self) -> bool:
+        return (
+            self.drop_probability > 0.0
+            and self.sim.rng.random() < self.drop_probability
+        )
+
+    def _check_site(self, site: int) -> None:
+        if not 0 <= site < self.n_sites:
+            raise SimulationError(f"site {site} outside universe 0..{self.n_sites - 1}")

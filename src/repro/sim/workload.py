@@ -1,0 +1,257 @@
+"""Workload generation: concurrent transaction mixes over replicated objects.
+
+The driver maintains a pool of in-flight transactions, each with a
+scripted sequence of operations, and interleaves them one operation at a
+time (picking the next runnable transaction pseudo-randomly from the
+simulator's seeded RNG).  Outcomes feed the
+:class:`~repro.sim.metrics.MetricRecorder`:
+
+* ``ok`` — the operation executed;
+* ``unavailable`` — no initial quorum could be assembled (the paper's
+  availability criterion);
+* ``conflict`` — the concurrency-control scheme refused: non-fatal
+  conflicts make the transaction *wait* for the lock holder (with
+  waits-for deadlock detection choosing victims), fatal conflicts abort
+  it (timestamp-order violations);
+* ``aborted`` — the transaction died mid-operation (final-quorum write
+  failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ConflictError, TransactionAborted, UnavailableError
+from repro.histories.events import Invocation
+from repro.replication.frontend import FrontEnd
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import MetricRecorder
+from repro.txn.deadlock import WaitsForGraph
+from repro.txn.ids import ActionId, Transaction
+from repro.txn.manager import TransactionManager
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """A weighted menu of invocations against named objects.
+
+    ``choices`` maps ``(object_name, invocation)`` to a positive weight.
+    """
+
+    choices: tuple[tuple[tuple[str, Invocation], float], ...]
+
+    @staticmethod
+    def uniform(object_name: str, invocations: Sequence[Invocation]) -> "OperationMix":
+        return OperationMix(
+            tuple(((object_name, inv), 1.0) for inv in invocations)
+        )
+
+    @staticmethod
+    def weighted(
+        items: Sequence[tuple[str, Invocation, float]]
+    ) -> "OperationMix":
+        return OperationMix(
+            tuple(((name, inv), weight) for name, inv, weight in items)
+        )
+
+    def sample(self, rng) -> tuple[str, Invocation]:
+        total = sum(weight for _choice, weight in self.choices)
+        point = rng.random() * total
+        for choice, weight in self.choices:
+            point -= weight
+            if point <= 0:
+                return choice
+        return self.choices[-1][0]
+
+
+@dataclass
+class _Script:
+    """One in-flight transaction's remaining work."""
+
+    txn: Transaction
+    frontend: FrontEnd
+    operations: list[tuple[str, Invocation]]
+    index: int = 0
+    waiting_on: ActionId | None = None
+    retries_left: int = 10
+
+    @property
+    def done(self) -> bool:
+        return self.index >= len(self.operations)
+
+
+@dataclass
+class WorkloadGenerator:
+    """Drives ``total_transactions`` through the system concurrently."""
+
+    sim: Simulator
+    tm: TransactionManager
+    frontends: Sequence[FrontEnd]
+    mix: OperationMix
+    ops_per_transaction: int = 3
+    concurrency: int = 4
+    max_retries: int = 10
+    think_time: float = 0.1
+    #: How lock conflicts between active transactions are resolved:
+    #: "detect"     — wait; abort the requester if waiting closes a cycle;
+    #: "wound-wait" — an older requester aborts (wounds) the younger
+    #:                holder; a younger requester waits;
+    #: "wait-die"   — an older requester waits; a younger one aborts
+    #:                itself.  Both timestamp policies are deadlock-free
+    #:                without cycle detection.
+    deadlock_policy: str = "detect"
+    metrics: MetricRecorder = field(default_factory=MetricRecorder)
+    waits: WaitsForGraph = field(default_factory=WaitsForGraph)
+
+    def run(self, total_transactions: int) -> MetricRecorder:
+        """Execute the workload to completion and return the metrics."""
+        if self.deadlock_policy not in ("detect", "wound-wait", "wait-die"):
+            raise ValueError(f"unknown deadlock policy {self.deadlock_policy!r}")
+        started = 0
+        pool: list[_Script] = []
+        self._pool = pool
+        stall_budget = 1000 * max(1, total_transactions)
+        while started < total_transactions or pool:
+            while started < total_transactions and len(pool) < self.concurrency:
+                pool.append(self._new_script())
+                started += 1
+            pool[:] = [s for s in pool if not self._swept(s)]
+            runnable = [s for s in pool if self._runnable(s)]
+            if not runnable:
+                # Everyone is waiting: break a deadlock-like stall by
+                # aborting the youngest waiter (wound-wait flavor).
+                victim = max(pool, key=lambda s: s.txn.begin_ts)
+                self._abort(victim, "stall victim")
+                pool.remove(victim)
+                continue
+            stall_budget -= 1
+            if stall_budget <= 0:
+                raise RuntimeError("workload failed to make progress")
+            script = runnable[self.sim.rng.randrange(len(runnable))]
+            if self._step(script):
+                pool.remove(script)
+            self.sim.advance(self.think_time)
+            # Dispatch background events (failure injectors, async
+            # messages) that became due while we worked.
+            self.sim.run(until=self.sim.now)
+        return self.metrics
+
+    # -- internals --------------------------------------------------------------
+
+    def _new_script(self) -> _Script:
+        # Front-ends can be replicated to an arbitrary extent (paper,
+        # Section 3.2), so availability is measured from a *functioning*
+        # client: prefer front-ends whose own site is up.
+        live = [fe for fe in self.frontends if fe.network.is_up(fe.site)]
+        candidates = live or list(self.frontends)
+        frontend = candidates[self.sim.rng.randrange(len(candidates))]
+        txn = self.tm.begin(site=frontend.site)
+        operations = [
+            self.mix.sample(self.sim.rng) for _ in range(self.ops_per_transaction)
+        ]
+        return _Script(
+            txn=txn,
+            frontend=frontend,
+            operations=operations,
+            retries_left=self.max_retries,
+        )
+
+    def _runnable(self, script: _Script) -> bool:
+        if script.waiting_on is None:
+            return True
+        holder_status = self.tm.status_of(script.waiting_on)
+        if holder_status.value != "active":
+            script.waiting_on = None
+            return True
+        return False
+
+    def _step(self, script: _Script) -> bool:
+        """Advance one operation (or commit); True when the script is done."""
+        if script.done:
+            return self._commit(script)
+        object_name, invocation = script.operations[script.index]
+        try:
+            script.frontend.execute(script.txn, object_name, invocation)
+        except UnavailableError:
+            self.metrics.record(invocation.op, "unavailable")
+            self._abort(script, "no initial quorum")
+            return True
+        except TransactionAborted as aborted:
+            # A final-quorum failure is an availability event, not a
+            # concurrency-control abort; classify by the underlying cause.
+            quorum_failure = isinstance(aborted.__cause__, UnavailableError)
+            self.metrics.record(
+                invocation.op, "unavailable" if quorum_failure else "aborted"
+            )
+            self.metrics.record_abort()
+            self.waits.remove(script.txn.id)
+            return True
+        except ConflictError as conflict:
+            self.metrics.record(invocation.op, "conflict")
+            if conflict.fatal or script.retries_left <= 0:
+                self._abort(script, str(conflict))
+                return True
+            return self._resolve_conflict(script, conflict)
+        self.metrics.record(invocation.op, "ok")
+        script.index += 1
+        return script.done and self._commit(script)
+
+    def _resolve_conflict(self, script: _Script, conflict: ConflictError) -> bool:
+        """Apply the deadlock policy; True when the script is finished."""
+        holder = conflict.holder
+        script.retries_left -= 1
+        if holder is None:
+            script.waiting_on = None
+            return False
+        if self.deadlock_policy == "detect":
+            if not self.waits.add_wait(script.txn.id, holder):
+                self._abort(script, "deadlock victim")
+                return True
+            script.waiting_on = holder
+            return False
+        requester_older = script.txn.begin_ts < self.tm.begin_ts_of(holder)
+        if self.deadlock_policy == "wound-wait":
+            if requester_older:
+                self._wound(holder)
+                script.waiting_on = None  # retry once the wound lands
+            else:
+                script.waiting_on = holder
+            return False
+        # wait-die
+        if requester_older:
+            script.waiting_on = holder
+            return False
+        self._abort(script, "wait-die: younger requester dies")
+        return True
+
+    def _wound(self, holder) -> None:
+        """Abort the (younger) holder on behalf of an older requester."""
+        for other in self._pool:
+            if other.txn.id == holder and other.txn.is_active:
+                self.tm.abort(other.txn, "wounded by older transaction")
+                self.metrics.record_abort()
+                self.waits.remove(other.txn.id)
+                return
+
+    def _swept(self, script: _Script) -> bool:
+        """Remove scripts whose transaction was wounded externally."""
+        if script.txn.is_active:
+            return False
+        self.waits.remove(script.txn.id)
+        return True
+
+    def _commit(self, script: _Script) -> bool:
+        try:
+            self.tm.commit(script.txn)
+            self.metrics.record_commit()
+        except TransactionAborted:
+            self.metrics.record_abort()
+        self.waits.remove(script.txn.id)
+        return True
+
+    def _abort(self, script: _Script, reason: str) -> None:
+        if script.txn.is_active:
+            self.tm.abort(script.txn, reason)
+        self.metrics.record_abort()
+        self.waits.remove(script.txn.id)

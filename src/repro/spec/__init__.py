@@ -1,0 +1,27 @@
+"""Serial specifications as executable state machines.
+
+A *serial specification* for an object is a set of possible serial
+histories (paper, Section 3.1).  This subpackage represents serial
+specifications operationally: a :class:`~repro.spec.datatype.SerialDataType`
+is a (possibly nondeterministic) state machine whose traces are exactly
+the legal serial histories.  :class:`~repro.spec.legality.LegalityOracle`
+answers legality and equivalence queries with memoization, and
+:mod:`repro.spec.enumerate` enumerates bounded legal histories for the
+model-checking kernel.
+"""
+
+from repro.spec.datatype import SerialDataType
+from repro.spec.legality import LegalityOracle
+from repro.spec.enumerate import (
+    event_alphabet,
+    legal_serial_histories,
+    response_alphabet,
+)
+
+__all__ = [
+    "SerialDataType",
+    "LegalityOracle",
+    "legal_serial_histories",
+    "event_alphabet",
+    "response_alphabet",
+]

@@ -1,0 +1,86 @@
+"""Bounded enumeration of legal serial histories and event alphabets.
+
+The model-checking kernel needs three finite universes derived from a
+data type's generator alphabet:
+
+* every legal serial history of at most ``max_events`` events
+  (:func:`legal_serial_histories`);
+* every event — invocation/response pair — that occurs in some such
+  history (:func:`event_alphabet`);
+* the responses each invocation can receive (:func:`response_alphabet`).
+
+Because serial specifications are prefix-closed, depth-first search with
+pruning on illegal prefixes enumerates the history universe exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.histories.events import Event, Invocation, Response, SerialHistory
+from repro.spec.datatype import SerialDataType
+from repro.spec.legality import LegalityOracle
+
+
+def legal_serial_histories(
+    datatype: SerialDataType,
+    max_events: int,
+    oracle: LegalityOracle | None = None,
+) -> Iterator[SerialHistory]:
+    """Yield every legal serial history with at most ``max_events`` events.
+
+    Histories are yielded shortest-prefix-first along each branch (the
+    empty history first).  Supplying a shared ``oracle`` lets callers
+    reuse replay memoization across searches.
+    """
+    oracle = oracle or LegalityOracle(datatype)
+    invocations = list(datatype.invocations())
+
+    def extend(history: SerialHistory) -> Iterator[SerialHistory]:
+        yield history
+        if len(history) >= max_events:
+            return
+        for inv in invocations:
+            for res in oracle.responses(history, inv):
+                yield from extend(history + (Event(inv, res),))
+
+    return extend(())
+
+
+def event_alphabet(
+    datatype: SerialDataType,
+    depth: int,
+    oracle: LegalityOracle | None = None,
+) -> tuple[Event, ...]:
+    """Every event occurring in some legal history of at most ``depth`` events.
+
+    The result is deterministic (sorted by rendering) so searches that
+    iterate over it are reproducible.
+    """
+    oracle = oracle or LegalityOracle(datatype)
+    events: set[Event] = set()
+    for history in legal_serial_histories(datatype, depth, oracle):
+        events.update(history)
+    return tuple(sorted(events, key=str))
+
+
+def response_alphabet(
+    datatype: SerialDataType,
+    depth: int,
+    oracle: LegalityOracle | None = None,
+) -> dict[Invocation, tuple[Response, ...]]:
+    """Map each generator invocation to the responses it can receive.
+
+    Considers every state reachable within ``depth`` events.
+    """
+    oracle = oracle or LegalityOracle(datatype)
+    by_invocation: dict[Invocation, set[Response]] = {
+        inv: set() for inv in datatype.invocations()
+    }
+    for history in legal_serial_histories(datatype, depth, oracle):
+        for inv in datatype.invocations():
+            by_invocation[inv].update(oracle.responses(history, inv))
+    return {
+        inv: tuple(sorted(responses, key=str))
+        for inv, responses in by_invocation.items()
+    }

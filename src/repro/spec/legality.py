@@ -1,0 +1,207 @@
+"""Legality and equivalence of serial histories, with memoization.
+
+The dependency-relation searches replay enormous numbers of serial
+histories that share long common prefixes.  :class:`LegalityOracle`
+stores replay results in a trie keyed by events, so each distinct prefix
+is replayed against the data type exactly once.
+
+For a (possibly nondeterministic) specification, the replay state is a
+*frontier*: the set of states the object could be in after exhibiting the
+history.  A history is legal iff its frontier is non-empty.  Two legal
+histories are equivalent (``h ≡ h'`` — indistinguishable by any future
+computation, paper Section 5) whenever their frontiers have equal
+canonical key sets; this check is sound in general and exact for all the
+built-in types, whose states are canonical value representations.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.histories.events import Event, Invocation, Response, SerialHistory
+from repro.spec.datatype import SerialDataType, State
+
+
+class _TrieNode:
+    """One replay frontier, plus memoized children per event."""
+
+    __slots__ = ("frontier", "children")
+
+    def __init__(self, frontier: dict[Hashable, State] | None):
+        #: canonical-key -> representative state; ``None`` marks illegal.
+        self.frontier = frontier
+        self.children: dict[Event, _TrieNode] = {}
+
+
+class LegalityOracle:
+    """Memoized legality, frontier, and equivalence queries for one type."""
+
+    def __init__(self, datatype: SerialDataType):
+        self._dt = datatype
+        initial = datatype.initial_state()
+        self._root = _TrieNode({datatype.canonical(initial): initial})
+        #: Memoized replay roots for non-initial base states (used when a
+        #: log prefix has been compacted into a snapshot state).
+        self._base_roots: dict[Hashable, _TrieNode] = {}
+
+    @property
+    def datatype(self) -> SerialDataType:
+        return self._dt
+
+    def _root_for(self, base_state: State | None) -> _TrieNode:
+        if base_state is None:
+            return self._root
+        key = self._dt.canonical(base_state)
+        root = self._base_roots.get(key)
+        if root is None:
+            root = _TrieNode({key: base_state})
+            self._base_roots[key] = root
+        return root
+
+    # -- replay internals ----------------------------------------------------
+
+    def _step(self, node: _TrieNode, event: Event) -> _TrieNode:
+        child = node.children.get(event)
+        if child is not None:
+            return child
+        if node.frontier is None:
+            child = _TrieNode(None)
+        else:
+            next_frontier: dict[Hashable, State] = {}
+            for state in node.frontier.values():
+                for response, next_state in self._dt.apply(state, event.inv):
+                    if response == event.res:
+                        next_frontier[self._dt.canonical(next_state)] = next_state
+            child = _TrieNode(next_frontier if next_frontier else None)
+        node.children[event] = child
+        return child
+
+    def _node(
+        self, history: SerialHistory, base_state: State | None = None
+    ) -> _TrieNode:
+        node = self._root_for(base_state)
+        for event in history:
+            node = self._step(node, event)
+            if node.frontier is None:
+                return node
+        return node
+
+    # -- replay from a snapshot state -----------------------------------------
+
+    def is_legal_from(self, base_state: State, history: SerialHistory) -> bool:
+        """Legality of ``history`` replayed from ``base_state``.
+
+        Used when a log prefix has been compacted: the snapshot state
+        stands in for the folded events.
+        """
+        return self._node(history, base_state).frontier is not None
+
+    def responses_from(
+        self, base_state: State, history: SerialHistory, invocation: Invocation
+    ) -> set[Response]:
+        """Responses legal for ``invocation`` after ``base_state · history``."""
+        frontier = self._node(history, base_state).frontier
+        if frontier is None:
+            return set()
+        found: set[Response] = set()
+        for state in frontier.values():
+            for response, _next_state in self._dt.apply(state, invocation):
+                found.add(response)
+        return found
+
+    # -- public queries --------------------------------------------------------
+
+    def is_legal(self, history: SerialHistory) -> bool:
+        """True iff ``history`` is in the type's serial specification."""
+        return self._node(history).frontier is not None
+
+    def is_legal_extension(self, history: SerialHistory, suffix: Iterable[Event]) -> bool:
+        """True iff ``history`` followed by ``suffix`` is legal."""
+        node = self._node(history)
+        for event in suffix:
+            if node.frontier is None:
+                return False
+            node = self._step(node, event)
+        return node.frontier is not None
+
+    def frontier_key(self, history: SerialHistory) -> frozenset[Hashable] | None:
+        """Canonical keys of all states reachable via ``history`` (None if illegal)."""
+        frontier = self._node(history).frontier
+        if frontier is None:
+            return None
+        return frozenset(frontier)
+
+    def responses(self, history: SerialHistory, invocation: Invocation) -> set[Response]:
+        """Every response legal for ``invocation`` after ``history``."""
+        frontier = self._node(history).frontier
+        if frontier is None:
+            return set()
+        found: set[Response] = set()
+        for state in frontier.values():
+            for response, _next_state in self._dt.apply(state, invocation):
+                found.add(response)
+        return found
+
+    def equivalent(self, first: SerialHistory, second: SerialHistory) -> bool:
+        """``h ≡ h'``: both legal and indistinguishable by future events.
+
+        Implemented as equality of canonical frontier key sets, which is
+        sound (equal frontiers admit exactly the same futures) and exact
+        for canonical state representations.
+        """
+        key_first = self.frontier_key(first)
+        if key_first is None:
+            return False
+        return key_first == self.frontier_key(second)
+
+    def distinguishing_suffix(
+        self, first: SerialHistory, second: SerialHistory, depth: int
+    ) -> SerialHistory | None:
+        """Search for a suffix legal after exactly one of the histories.
+
+        This is the *observational* inequivalence test from the paper's
+        definition (``h*s`` legal iff ``h'*s`` legal for all ``s``),
+        bounded to suffixes of at most ``depth`` events over the
+        generator alphabet.  Returns a witness suffix or ``None``.  Used
+        in tests to validate :meth:`equivalent`.
+        """
+        alphabet = [
+            Event(inv, res)
+            for inv in self._dt.invocations()
+            for res in self._event_responses(inv, depth)
+        ]
+
+        def search(sfx: tuple[Event, ...], remaining: int) -> SerialHistory | None:
+            legal_first = self.is_legal_extension(first, sfx)
+            legal_second = self.is_legal_extension(second, sfx)
+            if legal_first != legal_second:
+                return sfx
+            if remaining == 0 or not (legal_first or legal_second):
+                return None
+            for event in alphabet:
+                witness = search(sfx + (event,), remaining - 1)
+                if witness is not None:
+                    return witness
+            return None
+
+        return search((), depth)
+
+    def _event_responses(self, invocation: Invocation, depth: int) -> set[Response]:
+        """All responses ``invocation`` can receive in states reachable in ``depth`` steps."""
+        found: set[Response] = set()
+        seen: set[Hashable] = set()
+        frontier = [self._dt.initial_state()]
+        for _ in range(depth + 1):
+            next_frontier: list[State] = []
+            for state in frontier:
+                key = self._dt.canonical(state)
+                if key in seen:
+                    continue
+                seen.add(key)
+                for inv in self._dt.invocations():
+                    for response, next_state in self._dt.apply(state, inv):
+                        if inv == invocation:
+                            found.add(response)
+                        next_frontier.append(next_state)
+            frontier = next_frontier
+        return found

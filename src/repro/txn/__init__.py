@@ -1,0 +1,23 @@
+"""Transactions: identities, lifecycle, and commitment.
+
+Actions (transactions) are the basic unit of computation (paper,
+Section 3): serializable and recoverable, they begin, execute operations
+against replicated objects, and either commit or abort.  This subpackage
+provides transaction identities stamped with Lamport begin/commit
+timestamps (:mod:`repro.txn.ids`), the transaction manager with its
+two-phase commit across touched objects (:mod:`repro.txn.manager`), and
+waits-for-graph deadlock detection for the locking scheme
+(:mod:`repro.txn.deadlock`).
+"""
+
+from repro.txn.ids import ActionId, Transaction, TxnStatus
+from repro.txn.manager import TransactionManager
+from repro.txn.deadlock import WaitsForGraph
+
+__all__ = [
+    "ActionId",
+    "Transaction",
+    "TxnStatus",
+    "TransactionManager",
+    "WaitsForGraph",
+]

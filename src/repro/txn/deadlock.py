@@ -1,0 +1,56 @@
+"""Waits-for-graph deadlock detection.
+
+The locking concurrency-control scheme can block a transaction behind a
+lock held by another.  The workload driver records each wait edge here
+and aborts a victim whenever adding an edge would close a cycle —
+standard deadlock detection, needed only for the strong-dynamic (2PL)
+scheme since the timestamp-based schemes never block.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.txn.ids import ActionId
+
+
+class WaitsForGraph:
+    """A dynamic directed graph over transactions with cycle detection."""
+
+    def __init__(self) -> None:
+        self._edges: dict[ActionId, set[ActionId]] = defaultdict(set)
+
+    def would_deadlock(self, waiter: ActionId, holder: ActionId) -> bool:
+        """Would adding ``waiter → holder`` create a cycle?"""
+        if waiter == holder:
+            return True
+        return self._reaches(holder, waiter)
+
+    def add_wait(self, waiter: ActionId, holder: ActionId) -> bool:
+        """Add the edge unless it deadlocks; returns ``True`` if added."""
+        if self.would_deadlock(waiter, holder):
+            return False
+        self._edges[waiter].add(holder)
+        return True
+
+    def remove(self, txn: ActionId) -> None:
+        """Drop every edge mentioning ``txn`` (on commit or abort)."""
+        self._edges.pop(txn, None)
+        for targets in self._edges.values():
+            targets.discard(txn)
+
+    def waiting_on(self, waiter: ActionId) -> frozenset[ActionId]:
+        return frozenset(self._edges.get(waiter, ()))
+
+    def _reaches(self, start: ActionId, goal: ActionId) -> bool:
+        stack = [start]
+        seen: set[ActionId] = set()
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._edges.get(node, ()))
+        return False

@@ -1,0 +1,51 @@
+"""Transaction identities and lifecycle state.
+
+Every action carries its Begin timestamp from the moment it starts, and
+acquires a Commit timestamp when (and only when) it commits — the two
+orderings that static and hybrid atomicity serialize by (Definition 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.clocks.timestamps import Timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class ActionId:
+    """A globally unique action identifier: sequence number plus home site."""
+
+    seq: int
+    site: int = 0
+
+    def __str__(self) -> str:
+        return f"T{self.seq}@{self.site}"
+
+
+class TxnStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """Mutable per-transaction record kept by the transaction manager."""
+
+    id: ActionId
+    begin_ts: Timestamp
+    status: TxnStatus = TxnStatus.ACTIVE
+    commit_ts: Timestamp | None = None
+    #: Names of replicated objects this transaction has touched.
+    touched: set[str] = field(default_factory=set)
+    #: Reason recorded when the transaction aborts.
+    abort_reason: str | None = None
+
+    @property
+    def is_active(self) -> bool:
+        return self.status is TxnStatus.ACTIVE
+
+    def __str__(self) -> str:
+        return f"{self.id}[{self.status.value}]"

@@ -1,0 +1,126 @@
+"""The transaction manager: lifecycle, status, and two-phase commit.
+
+The manager is the authority on transaction status and timestamps (the
+:class:`~repro.replication.view.StatusSource` views consult), and runs
+commitment across every object a transaction touched:
+
+* **phase one** — each touched object's concurrency-control scheme
+  certifies the commit (:meth:`~repro.cc.base.CCScheme.pre_commit`); a
+  veto from any object aborts the transaction everywhere;
+* **phase two** — a commit timestamp is drawn from the Lamport clock (the
+  commit-order position hybrid atomicity serializes by) and every
+  object's synchronization state and history recorder are finalized.
+
+*Modeling note*: the manager is reliable and reachable in this
+simulation — transaction status is assumed available the way the
+paper's analysis assumes it, so that measured availability reflects the
+*data* quorums under study rather than commit-protocol availability.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.clocks.lamport import LamportClock
+from repro.clocks.timestamps import Timestamp
+from repro.errors import ConflictError, TransactionAborted, TransactionError
+from repro.txn.ids import ActionId, Transaction, TxnStatus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.replication.object import ReplicatedObject
+
+
+class TransactionManager:
+    """Begin, execute-time status, and atomic commitment."""
+
+    def __init__(self, clock: LamportClock | None = None):
+        self.clock = clock or LamportClock(site=-1)
+        self._txns: dict[ActionId, Transaction] = {}
+        self._objects: dict[str, "ReplicatedObject"] = {}
+        self._seq = 0
+        self.commits = 0
+        self.aborts = 0
+
+    # -- object registry ---------------------------------------------------
+
+    def register(self, obj: "ReplicatedObject") -> "ReplicatedObject":
+        if obj.name in self._objects:
+            raise TransactionError(f"object {obj.name!r} already registered")
+        self._objects[obj.name] = obj
+        return obj
+
+    def object(self, name: str) -> "ReplicatedObject":
+        try:
+            return self._objects[name]
+        except KeyError:
+            raise TransactionError(f"unknown object {name!r}") from None
+
+    @property
+    def objects(self) -> dict[str, "ReplicatedObject"]:
+        return dict(self._objects)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin(self, site: int = 0) -> Transaction:
+        """Start a transaction; its begin timestamp fixes its static position."""
+        self._seq += 1
+        txn = Transaction(
+            id=ActionId(self._seq, site),
+            begin_ts=self.clock.tick(),
+        )
+        self._txns[txn.id] = txn
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        """Two-phase commit across every touched object.
+
+        Raises :class:`~repro.errors.TransactionAborted` when any
+        object's scheme vetoes certification; the transaction is then
+        aborted everywhere before the exception propagates.
+        """
+        self._require_active(txn)
+        try:
+            for name in sorted(txn.touched):
+                obj = self.object(name)
+                obj.cc.pre_commit(txn, obj.sync)
+        except ConflictError as veto:
+            self.abort(txn, reason=str(veto))
+            raise TransactionAborted(txn.id, str(veto)) from veto
+        txn.commit_ts = self.clock.tick()
+        txn.status = TxnStatus.COMMITTED
+        self.commits += 1
+        for name in sorted(txn.touched):
+            obj = self.object(name)
+            obj.sync.finalize_commit(txn)
+            obj.cc.on_finalize(txn, obj.sync)
+            obj.recorder.record_commit(txn)
+
+    def abort(self, txn: Transaction, reason: str = "client abort") -> None:
+        """Abort: undo is implicit — aborted entries are ignored by views."""
+        self._require_active(txn)
+        txn.status = TxnStatus.ABORTED
+        txn.abort_reason = reason
+        self.aborts += 1
+        for name in sorted(txn.touched):
+            obj = self.object(name)
+            obj.sync.finalize_abort(txn)
+            obj.cc.on_finalize(txn, obj.sync)
+            obj.recorder.record_abort(txn)
+
+    def _require_active(self, txn: Transaction) -> None:
+        if not txn.is_active:
+            raise TransactionError(f"{txn} is not active")
+
+    # -- StatusSource protocol ---------------------------------------------
+
+    def status_of(self, action: ActionId) -> TxnStatus:
+        return self._txns[action].status
+
+    def begin_ts_of(self, action: ActionId) -> Timestamp:
+        return self._txns[action].begin_ts
+
+    def commit_ts_of(self, action: ActionId) -> Timestamp | None:
+        return self._txns[action].commit_ts
+
+    def transactions(self) -> Iterable[Transaction]:
+        return self._txns.values()

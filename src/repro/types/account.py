@@ -1,0 +1,55 @@
+"""A bank account with overdraft protection.
+
+``Deposit(n)`` adds funds, ``Withdraw(n)`` removes them or signals
+``Overdraft`` (with no effect) when funds are insufficient, and
+``Balance()`` reads the balance.  Deposits commute with each other, and
+successful withdrawals commute with deposits *except* through the
+overdraft boundary — the classic motivating example for type-specific
+concurrency control (Weihl) and for typed quorum assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import SpecificationError
+from repro.histories.events import Invocation, Response, ok, signal
+from repro.spec.datatype import SerialDataType, State
+
+
+class Account(SerialDataType):
+    """Non-negative integer balance: ``Deposit``, ``Withdraw``, ``Balance``."""
+
+    name = "Account"
+
+    def __init__(self, amounts: Sequence[int] = (1, 2)):
+        if not amounts or any(a <= 0 for a in amounts):
+            raise SpecificationError("Account amounts must be positive")
+        self._amounts = tuple(amounts)
+
+    def initial_state(self) -> State:
+        return 0
+
+    def apply(
+        self, state: State, invocation: Invocation
+    ) -> Iterable[tuple[Response, State]]:
+        balance: int = state  # type: ignore[assignment]
+        if invocation.op == "Deposit":
+            (amount,) = invocation.args
+            return [(ok(), balance + amount)]
+        if invocation.op == "Withdraw":
+            (amount,) = invocation.args
+            if amount > balance:
+                return [(signal("Overdraft"), balance)]
+            return [(ok(), balance - amount)]
+        if invocation.op == "Balance":
+            return [(ok(balance), balance)]
+        raise SpecificationError(f"Account has no operation {invocation.op!r}")
+
+    def invocations(self) -> Sequence[Invocation]:
+        result: list[Invocation] = []
+        for amount in self._amounts:
+            result.append(Invocation("Deposit", (amount,)))
+            result.append(Invocation("Withdraw", (amount,)))
+        result.append(Invocation("Balance"))
+        return tuple(result)

@@ -1,0 +1,51 @@
+"""A finite set ("bag of distinct items").
+
+``Insert(x)`` adds an item (idempotently), ``Remove(x)`` deletes it or
+signals ``Absent``, and ``Member(x)`` tests membership.  Inserts of
+distinct items commute, which typed quorum consensus can exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import SpecificationError
+from repro.histories.events import Invocation, Response, ok, signal
+from repro.spec.datatype import SerialDataType, State
+
+
+class Bag(SerialDataType):
+    """Set of items over a finite alphabet; state is a frozenset."""
+
+    name = "Bag"
+
+    def __init__(self, items: Sequence[Hashable] = ("x", "y")):
+        if not items:
+            raise SpecificationError("Bag needs a non-empty item alphabet")
+        self._items = tuple(items)
+
+    def initial_state(self) -> State:
+        return frozenset()
+
+    def apply(
+        self, state: State, invocation: Invocation
+    ) -> Iterable[tuple[Response, State]]:
+        members: frozenset = state  # type: ignore[assignment]
+        if invocation.op == "Insert":
+            (item,) = invocation.args
+            return [(ok(), members | {item})]
+        if invocation.op == "Remove":
+            (item,) = invocation.args
+            if item in members:
+                return [(ok(), members - {item})]
+            return [(signal("Absent"), members)]
+        if invocation.op == "Member":
+            (item,) = invocation.args
+            return [(ok(item in members), members)]
+        raise SpecificationError(f"Bag has no operation {invocation.op!r}")
+
+    def invocations(self) -> Sequence[Invocation]:
+        result: list[Invocation] = []
+        for op in ("Insert", "Remove", "Member"):
+            result.extend(Invocation(op, (item,)) for item in self._items)
+        return tuple(result)

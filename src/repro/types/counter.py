@@ -1,0 +1,44 @@
+"""A bounded-below counter.
+
+``Inc`` and ``Dec`` adjust the count; ``Dec`` signals ``Underflow`` (with
+no effect) when the count is zero, and ``Read`` returns the count.  The
+partial commutativity of ``Inc``/``Dec`` away from the zero boundary
+makes the Counter a useful subject for dependency-relation comparisons:
+increments commute with each other but not with reads, so typed quorum
+consensus gives ``Inc`` strictly better availability than a read/write
+classification would.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import SpecificationError
+from repro.histories.events import Invocation, Response, ok, signal
+from repro.spec.datatype import SerialDataType, State
+
+
+class Counter(SerialDataType):
+    """Non-negative integer counter: ``Inc``, ``Dec``, ``Read``."""
+
+    name = "Counter"
+
+    def initial_state(self) -> State:
+        return 0
+
+    def apply(
+        self, state: State, invocation: Invocation
+    ) -> Iterable[tuple[Response, State]]:
+        count: int = state  # type: ignore[assignment]
+        if invocation.op == "Inc":
+            return [(ok(), count + 1)]
+        if invocation.op == "Dec":
+            if count == 0:
+                return [(signal("Underflow"), count)]
+            return [(ok(), count - 1)]
+        if invocation.op == "Read":
+            return [(ok(count), count)]
+        raise SpecificationError(f"Counter has no operation {invocation.op!r}")
+
+    def invocations(self) -> Sequence[Invocation]:
+        return (Invocation("Inc"), Invocation("Dec"), Invocation("Read"))

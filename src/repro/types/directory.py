@@ -1,0 +1,85 @@
+"""A key/value directory.
+
+The directory is the type studied by Bloch, Daniels, and Spector's
+weighted voting for directories [6], which the paper cites as a
+specially optimized instance of general quorum consensus.  Operations:
+
+* ``Insert(k, v)`` — binds ``k`` to ``v``; signals ``Present`` if bound;
+* ``Update(k, v)`` — rebinds ``k``; signals ``Absent`` if unbound;
+* ``Lookup(k)`` — returns the binding or signals ``Absent``;
+* ``Delete(k)`` — removes the binding or signals ``Absent``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import SpecificationError
+from repro.histories.events import Invocation, Response, ok, signal
+from repro.spec.datatype import SerialDataType, State
+
+
+class Directory(SerialDataType):
+    """Finite map; state is a frozenset of ``(key, value)`` pairs."""
+
+    name = "Directory"
+
+    def __init__(
+        self,
+        keys: Sequence[Hashable] = ("j", "k"),
+        values: Sequence[Hashable] = ("u", "v"),
+    ):
+        if not keys or not values:
+            raise SpecificationError("Directory needs key and value alphabets")
+        self._keys = tuple(keys)
+        self._values = tuple(values)
+
+    def initial_state(self) -> State:
+        return frozenset()
+
+    @staticmethod
+    def _as_dict(state: State) -> dict:
+        return dict(state)  # type: ignore[arg-type]
+
+    @staticmethod
+    def _freeze(mapping: dict) -> State:
+        return frozenset(mapping.items())
+
+    def apply(
+        self, state: State, invocation: Invocation
+    ) -> Iterable[tuple[Response, State]]:
+        mapping = self._as_dict(state)
+        if invocation.op == "Insert":
+            key, value = invocation.args
+            if key in mapping:
+                return [(signal("Present"), state)]
+            mapping[key] = value
+            return [(ok(), self._freeze(mapping))]
+        if invocation.op == "Update":
+            key, value = invocation.args
+            if key not in mapping:
+                return [(signal("Absent"), state)]
+            mapping[key] = value
+            return [(ok(), self._freeze(mapping))]
+        if invocation.op == "Lookup":
+            (key,) = invocation.args
+            if key not in mapping:
+                return [(signal("Absent"), state)]
+            return [(ok(mapping[key]), state)]
+        if invocation.op == "Delete":
+            (key,) = invocation.args
+            if key not in mapping:
+                return [(signal("Absent"), state)]
+            del mapping[key]
+            return [(ok(), self._freeze(mapping))]
+        raise SpecificationError(f"Directory has no operation {invocation.op!r}")
+
+    def invocations(self) -> Sequence[Invocation]:
+        result: list[Invocation] = []
+        for key in self._keys:
+            for value in self._values:
+                result.append(Invocation("Insert", (key, value)))
+                result.append(Invocation("Update", (key, value)))
+            result.append(Invocation("Lookup", (key,)))
+            result.append(Invocation("Delete", (key,)))
+        return tuple(result)

@@ -1,0 +1,57 @@
+"""The DoubleBuffer data type (paper, Section 5).
+
+A DoubleBuffer consists of a producer buffer and a consumer buffer, each
+holding a single item, both initialized with a default item:
+
+* ``Produce(item)`` copies an item into the producer buffer;
+* ``Transfer()`` copies the producer buffer to the consumer buffer;
+* ``Consume()`` returns a copy of the consumer buffer.
+
+The DoubleBuffer is the paper's witness that a dynamic dependency
+relation need not be a hybrid dependency relation (Theorem 12).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import SpecificationError
+from repro.histories.events import Invocation, Response, ok
+from repro.spec.datatype import SerialDataType, State
+
+
+class DoubleBuffer(SerialDataType):
+    """Producer/consumer single-item buffers.
+
+    The state is a ``(producer, consumer)`` pair.
+    """
+
+    name = "DoubleBuffer"
+
+    def __init__(self, items: Sequence[Hashable] = ("x", "y"), default: Hashable = "0"):
+        if not items:
+            raise SpecificationError("DoubleBuffer needs a non-empty item alphabet")
+        self._items = tuple(items)
+        self._default = default
+
+    def initial_state(self) -> State:
+        return (self._default, self._default)
+
+    def apply(
+        self, state: State, invocation: Invocation
+    ) -> Iterable[tuple[Response, State]]:
+        producer, consumer = state  # type: ignore[misc]
+        if invocation.op == "Produce":
+            (item,) = invocation.args
+            return [(ok(), (item, consumer))]
+        if invocation.op == "Transfer":
+            return [(ok(), (producer, producer))]
+        if invocation.op == "Consume":
+            return [(ok(consumer), state)]
+        raise SpecificationError(f"DoubleBuffer has no operation {invocation.op!r}")
+
+    def invocations(self) -> Sequence[Invocation]:
+        return tuple(Invocation("Produce", (item,)) for item in self._items) + (
+            Invocation("Transfer"),
+            Invocation("Consume"),
+        )

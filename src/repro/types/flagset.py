@@ -1,0 +1,71 @@
+"""The FlagSet data type (paper, Section 4).
+
+A FlagSet's state has boolean flags ``opened`` and ``closed`` and a
+four-element boolean array ``flags`` (1-indexed in the paper), all
+initially false:
+
+* ``Open()`` — if not already opened, enables ``Shift`` and sets
+  ``flags[1]``; otherwise signals ``Disabled`` with no effect;
+* ``Shift(n)`` for ``0 < n < 4`` — if opened and not closed, assigns
+  ``flags[n+1] := flags[n]``; otherwise signals ``Disabled``;
+* ``Close()`` — returns ``flags[4]``; if the object has been opened it
+  disables ``Shift`` (``closed := opened``), otherwise it has no effect.
+
+The FlagSet is the paper's example of an object with **two distinct
+minimal hybrid dependency relations**: a common core must be extended
+with either ``Shift(3) ≥ Shift(1);Ok()`` or ``Shift(2) ≥ Shift(1);Ok()``
+— Shift(1) events reach a Shift(3) view either by direct quorum
+intersection or transitively through Shift(2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import SpecificationError
+from repro.histories.events import Invocation, Response, ok, signal
+from repro.spec.datatype import SerialDataType, State
+
+
+class FlagSet(SerialDataType):
+    """The paper's FlagSet, verbatim.
+
+    The state is ``(opened, closed, flags)`` with ``flags`` a 4-tuple of
+    booleans holding ``flags[1..4]`` at indices 0..3.
+    """
+
+    name = "FlagSet"
+
+    def initial_state(self) -> State:
+        return (False, False, (False, False, False, False))
+
+    def apply(
+        self, state: State, invocation: Invocation
+    ) -> Iterable[tuple[Response, State]]:
+        opened, closed, flags = state  # type: ignore[misc]
+        if invocation.op == "Open":
+            if opened:
+                return [(signal("Disabled"), state)]
+            new_flags = (True,) + flags[1:]
+            return [(ok(), (True, closed, new_flags))]
+        if invocation.op == "Shift":
+            (n,) = invocation.args
+            if not isinstance(n, int) or not 0 < n < 4:
+                raise SpecificationError(f"Shift defined only for 0 < n < 4, got {n!r}")
+            if opened and not closed:
+                shifted = list(flags)
+                shifted[n] = shifted[n - 1]  # flags[n+1] := flags[n], 1-indexed
+                return [(ok(), (opened, closed, tuple(shifted)))]
+            return [(signal("Disabled"), state)]
+        if invocation.op == "Close":
+            return [(ok(flags[3]), (opened, opened or closed, flags))]
+        raise SpecificationError(f"FlagSet has no operation {invocation.op!r}")
+
+    def invocations(self) -> Sequence[Invocation]:
+        return (
+            Invocation("Open"),
+            Invocation("Shift", (1,)),
+            Invocation("Shift", (2,)),
+            Invocation("Shift", (3,)),
+            Invocation("Close"),
+        )

@@ -1,0 +1,51 @@
+"""An append-only log (ledger).
+
+``Append(item)`` adds an entry, ``Size()`` returns the entry count, and
+``Last()`` returns the most recent entry (or signals ``Empty``).  Append
+operations conflict with reads but — unlike a register write — carry
+their full effect in the entry itself, so quorum consensus can give
+``Append`` small final quorums.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import SpecificationError
+from repro.histories.events import Invocation, Response, ok, signal
+from repro.spec.datatype import SerialDataType, State
+
+
+class LogObject(SerialDataType):
+    """Append-only sequence over a finite item alphabet."""
+
+    name = "Log"
+
+    def __init__(self, items: Sequence[Hashable] = ("a", "b")):
+        if not items:
+            raise SpecificationError("Log needs a non-empty item alphabet")
+        self._items = tuple(items)
+
+    def initial_state(self) -> State:
+        return ()
+
+    def apply(
+        self, state: State, invocation: Invocation
+    ) -> Iterable[tuple[Response, State]]:
+        entries: tuple[Hashable, ...] = state  # type: ignore[assignment]
+        if invocation.op == "Append":
+            (item,) = invocation.args
+            return [(ok(), entries + (item,))]
+        if invocation.op == "Size":
+            return [(ok(len(entries)), entries)]
+        if invocation.op == "Last":
+            if not entries:
+                return [(signal("Empty"), entries)]
+            return [(ok(entries[-1]), entries)]
+        raise SpecificationError(f"Log has no operation {invocation.op!r}")
+
+    def invocations(self) -> Sequence[Invocation]:
+        return tuple(Invocation("Append", (item,)) for item in self._items) + (
+            Invocation("Size"),
+            Invocation("Last"),
+        )

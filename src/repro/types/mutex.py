@@ -1,0 +1,45 @@
+"""A mutual-exclusion lock as an atomic data type.
+
+``Acquire()`` takes the lock or signals ``Busy``; ``Release()`` frees it
+or signals ``NotHeld``.  The interest for quorum assignment: ``Acquire``
+and ``Release`` alternate strictly, so each operation's legality depends
+on seeing *every* previous normal event of both kinds — a type whose
+minimal dependency relations are near-total under every atomicity
+property, at the opposite extreme from commuting counters.  (A real
+system would key the lock by holder; the single-holder variant keeps the
+alphabet small for exhaustive analysis.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import SpecificationError
+from repro.histories.events import Invocation, Response, ok, signal
+from repro.spec.datatype import SerialDataType, State
+
+
+class Mutex(SerialDataType):
+    """Single lock; the state is a bool (held or free)."""
+
+    name = "Mutex"
+
+    def initial_state(self) -> State:
+        return False
+
+    def apply(
+        self, state: State, invocation: Invocation
+    ) -> Iterable[tuple[Response, State]]:
+        held: bool = state  # type: ignore[assignment]
+        if invocation.op == "Acquire":
+            if held:
+                return [(signal("Busy"), held)]
+            return [(ok(), True)]
+        if invocation.op == "Release":
+            if not held:
+                return [(signal("NotHeld"), held)]
+            return [(ok(), False)]
+        raise SpecificationError(f"Mutex has no operation {invocation.op!r}")
+
+    def invocations(self) -> Sequence[Invocation]:
+        return (Invocation("Acquire"), Invocation("Release"))

@@ -1,0 +1,86 @@
+"""A priority queue.
+
+``Enq(item, priority)`` inserts; ``Deq()`` removes and returns the item
+with the highest priority (FIFO among equal priorities); ``Empty`` is
+signalled when there is nothing to remove.
+
+The priority structure refines the commutativity analysis beyond the
+FIFO queue's: two enqueues commute unless their relative priority can
+influence a later dequeue, and an enqueue of a *lower* priority never
+invalidates a dequeue that returned a higher-priority item — dependency
+pairs the kernel's searches pick out by priority value, something a
+read/write classification cannot express at all.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import SpecificationError
+from repro.histories.events import Invocation, Response, ok, signal
+from repro.spec.datatype import SerialDataType, State
+
+
+class PriorityQueue(SerialDataType):
+    """Max-priority queue; the state is a tuple of (priority, seq, item).
+
+    ``seq`` (insertion index) breaks priority ties first-in-first-out,
+    matching the common specification.
+    """
+
+    name = "PriorityQueue"
+
+    def __init__(
+        self,
+        items: Sequence[Hashable] = ("a",),
+        priorities: Sequence[int] = (1, 2),
+    ):
+        if not items or not priorities:
+            raise SpecificationError("PriorityQueue needs items and priorities")
+        self._items = tuple(items)
+        self._priorities = tuple(priorities)
+
+    def initial_state(self) -> State:
+        return ()
+
+    @staticmethod
+    def _canon(
+        entries: tuple[tuple[int, int, Hashable], ...]
+    ) -> tuple[tuple[int, int, Hashable], ...]:
+        """Renumber insertion indices densely.
+
+        Only the *relative* insertion order matters for future behavior,
+        so states are kept canonical — otherwise behaviorally identical
+        states would differ in stale indices and the frontier-based
+        equivalence check would wrongly separate them.
+        """
+        ordered = sorted(entries, key=lambda e: e[1])
+        return tuple(
+            (priority, index, item)
+            for index, (priority, _seq, item) in enumerate(ordered)
+        )
+
+    def apply(
+        self, state: State, invocation: Invocation
+    ) -> Iterable[tuple[Response, State]]:
+        entries: tuple[tuple[int, int, Hashable], ...] = state  # type: ignore[assignment]
+        if invocation.op == "Enq":
+            item, priority = invocation.args
+            seq = len(entries)
+            return [(ok(), self._canon(entries + ((priority, seq, item),)))]
+        if invocation.op == "Deq":
+            if not entries:
+                return [(signal("Empty"), entries)]
+            # Highest priority; FIFO (lowest seq) among equals.
+            best = max(entries, key=lambda e: (e[0], -e[1]))
+            remainder = self._canon(tuple(e for e in entries if e != best))
+            return [(ok(best[2], best[0]), remainder)]
+        raise SpecificationError(f"PriorityQueue has no operation {invocation.op!r}")
+
+    def invocations(self) -> Sequence[Invocation]:
+        enqueues = tuple(
+            Invocation("Enq", (item, priority))
+            for item in self._items
+            for priority in self._priorities
+        )
+        return enqueues + (Invocation("Deq"),)

@@ -1,0 +1,68 @@
+"""The PROM data type (paper, Section 4).
+
+A PROM is a container for an item.  When created it holds a default
+value; its contents can be overwritten but not read.  Once the PROM has
+been *sealed*, its contents can be read but not written:
+
+* ``Write(item)`` stores a new item if the PROM has not been sealed,
+  otherwise signals ``Disabled`` (and has no effect);
+* ``Read()`` returns the item if the PROM has been sealed, otherwise
+  signals ``Disabled``;
+* ``Seal()`` enables reads and disables writes; it has no effect if the
+  PROM has already been sealed.
+
+The PROM is the paper's witness that a hybrid dependency relation need
+not be a static dependency relation (Theorem 5), and the source of its
+headline availability example: with ``n`` identical sites, hybrid
+atomicity permits Read/Seal/Write quorums of sizes ``1 / n / 1`` whereas
+static atomicity forces ``1 / n / n``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import SpecificationError
+from repro.histories.events import Invocation, Response, ok, signal
+from repro.spec.datatype import SerialDataType, State
+
+
+class PROM(SerialDataType):
+    """Write-then-seal-then-read container.
+
+    The state is a ``(value, sealed)`` pair.
+    """
+
+    name = "PROM"
+
+    def __init__(self, items: Sequence[Hashable] = ("x", "y"), default: Hashable = "0"):
+        if not items:
+            raise SpecificationError("PROM needs a non-empty item alphabet")
+        self._items = tuple(items)
+        self._default = default
+
+    def initial_state(self) -> State:
+        return (self._default, False)
+
+    def apply(
+        self, state: State, invocation: Invocation
+    ) -> Iterable[tuple[Response, State]]:
+        value, sealed = state  # type: ignore[misc]
+        if invocation.op == "Write":
+            (item,) = invocation.args
+            if sealed:
+                return [(signal("Disabled"), state)]
+            return [(ok(), (item, False))]
+        if invocation.op == "Read":
+            if sealed:
+                return [(ok(value), state)]
+            return [(signal("Disabled"), state)]
+        if invocation.op == "Seal":
+            return [(ok(), (value, True))]
+        raise SpecificationError(f"PROM has no operation {invocation.op!r}")
+
+    def invocations(self) -> Sequence[Invocation]:
+        return tuple(Invocation("Write", (item,)) for item in self._items) + (
+            Invocation("Read"),
+            Invocation("Seal"),
+        )

@@ -1,0 +1,50 @@
+"""The FIFO Queue data type (paper, Sections 3 and 5).
+
+Two operations: ``Enq`` places an item in the queue, and ``Deq`` removes
+the least recently enqueued item, raising the ``Empty`` exception if the
+queue is empty.  The serial specification includes all and only the
+histories in which items are dequeued in first-in-first-out order.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import SpecificationError
+from repro.histories.events import Invocation, Response, ok, signal
+from repro.spec.datatype import SerialDataType, State
+
+
+class Queue(SerialDataType):
+    """FIFO queue over a finite item alphabet.
+
+    The state is the tuple of queued items, oldest first.
+    """
+
+    name = "Queue"
+
+    def __init__(self, items: Sequence[Hashable] = ("a", "b")):
+        if not items:
+            raise SpecificationError("Queue needs a non-empty item alphabet")
+        self._items = tuple(items)
+
+    def initial_state(self) -> State:
+        return ()
+
+    def apply(
+        self, state: State, invocation: Invocation
+    ) -> Iterable[tuple[Response, State]]:
+        queue: tuple[Hashable, ...] = state  # type: ignore[assignment]
+        if invocation.op == "Enq":
+            (item,) = invocation.args
+            return [(ok(), queue + (item,))]
+        if invocation.op == "Deq":
+            if not queue:
+                return [(signal("Empty"), queue)]
+            return [(ok(queue[0]), queue[1:])]
+        raise SpecificationError(f"Queue has no operation {invocation.op!r}")
+
+    def invocations(self) -> Sequence[Invocation]:
+        return tuple(Invocation("Enq", (item,)) for item in self._items) + (
+            Invocation("Deq"),
+        )

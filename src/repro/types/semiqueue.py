@@ -1,0 +1,60 @@
+"""The SemiQueue: a nondeterministic weak queue.
+
+``Enq(item)`` adds an item and ``Deq()`` removes and returns *some*
+enqueued item — any one, chosen nondeterministically — or signals
+``Empty``.  The SemiQueue is the classic example (from Weihl's thesis) of
+a type whose weaker specification permits strictly more concurrency and
+strictly weaker quorum-intersection constraints than a FIFO queue: two
+``Deq`` operations need not conflict.
+
+This type exercises the nondeterministic branch of the specification
+machinery: :meth:`apply` returns several ``(response, state)`` pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import SpecificationError
+from repro.histories.events import Invocation, Response, ok, signal
+from repro.spec.datatype import SerialDataType, State
+
+
+class SemiQueue(SerialDataType):
+    """Multiset with nondeterministic removal; state is a sorted tuple."""
+
+    name = "SemiQueue"
+
+    def __init__(self, items: Sequence[Hashable] = ("a", "b")):
+        if not items:
+            raise SpecificationError("SemiQueue needs a non-empty item alphabet")
+        self._items = tuple(items)
+
+    def initial_state(self) -> State:
+        return ()
+
+    def apply(
+        self, state: State, invocation: Invocation
+    ) -> Iterable[tuple[Response, State]]:
+        multiset: tuple[Hashable, ...] = state  # type: ignore[assignment]
+        if invocation.op == "Enq":
+            (item,) = invocation.args
+            return [(ok(), tuple(sorted(multiset + (item,), key=repr)))]
+        if invocation.op == "Deq":
+            if not multiset:
+                return [(signal("Empty"), multiset)]
+            outcomes: list[tuple[Response, State]] = []
+            seen: set[Hashable] = set()
+            for index, item in enumerate(multiset):
+                if item in seen:
+                    continue  # removing equal items yields the same outcome
+                seen.add(item)
+                remainder = multiset[:index] + multiset[index + 1 :]
+                outcomes.append((ok(item), remainder))
+            return outcomes
+        raise SpecificationError(f"SemiQueue has no operation {invocation.op!r}")
+
+    def invocations(self) -> Sequence[Invocation]:
+        return tuple(Invocation("Enq", (item,)) for item in self._items) + (
+            Invocation("Deq"),
+        )

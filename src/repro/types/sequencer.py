@@ -1,0 +1,37 @@
+"""A sequencer (ticket dispenser).
+
+``Next()`` returns the next integer in sequence, starting from 1.  The
+sequencer is the canonical example of an object with *no* commuting
+operation pairs (two ``Next`` events never commute — their responses
+order them totally) yet whose static dependency structure is simple:
+each response is determined by how many events precede it.  It stresses
+the response-value-sensitive parts of the dependency machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import SpecificationError
+from repro.histories.events import Invocation, Response, ok
+from repro.spec.datatype import SerialDataType, State
+
+
+class Sequencer(SerialDataType):
+    """Monotone ticket dispenser; the state is the count issued so far."""
+
+    name = "Sequencer"
+
+    def initial_state(self) -> State:
+        return 0
+
+    def apply(
+        self, state: State, invocation: Invocation
+    ) -> Iterable[tuple[Response, State]]:
+        issued: int = state  # type: ignore[assignment]
+        if invocation.op == "Next":
+            return [(ok(issued + 1), issued + 1)]
+        raise SpecificationError(f"Sequencer has no operation {invocation.op!r}")
+
+    def invocations(self) -> Sequence[Invocation]:
+        return (Invocation("Next"),)

@@ -1,0 +1,47 @@
+"""A LIFO stack.
+
+``Push(item)`` and ``Pop()`` (signalling ``Empty`` on an empty stack).
+The stack's last-in-first-out discipline produces a different dependency
+structure from the Queue's FIFO discipline, which the dependency-search
+tests exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import SpecificationError
+from repro.histories.events import Invocation, Response, ok, signal
+from repro.spec.datatype import SerialDataType, State
+
+
+class Stack(SerialDataType):
+    """LIFO stack over a finite item alphabet; state is a tuple, top last."""
+
+    name = "Stack"
+
+    def __init__(self, items: Sequence[Hashable] = ("a", "b")):
+        if not items:
+            raise SpecificationError("Stack needs a non-empty item alphabet")
+        self._items = tuple(items)
+
+    def initial_state(self) -> State:
+        return ()
+
+    def apply(
+        self, state: State, invocation: Invocation
+    ) -> Iterable[tuple[Response, State]]:
+        stack: tuple[Hashable, ...] = state  # type: ignore[assignment]
+        if invocation.op == "Push":
+            (item,) = invocation.args
+            return [(ok(), stack + (item,))]
+        if invocation.op == "Pop":
+            if not stack:
+                return [(signal("Empty"), stack)]
+            return [(ok(stack[-1]), stack[:-1])]
+        raise SpecificationError(f"Stack has no operation {invocation.op!r}")
+
+    def invocations(self) -> Sequence[Invocation]:
+        return tuple(Invocation("Push", (item,)) for item in self._items) + (
+            Invocation("Pop"),
+        )

@@ -1,0 +1,221 @@
+"""Unit tests for the three local atomicity property checkers."""
+
+import pytest
+
+from repro.atomicity.compare import compare_concurrency
+from repro.atomicity.explore import ExplorationBounds, behavioral_histories
+from repro.atomicity.properties import (
+    DynamicAtomicity,
+    HybridAtomicity,
+    StaticAtomicity,
+    is_atomic,
+)
+from repro.histories.behavioral import Abort, Begin, BehavioralHistory, Commit, Op
+from repro.histories.events import event, ok, signal
+from repro.types import Queue, Register
+
+
+ENQ_A = event("Enq", ("a",))
+ENQ_B = event("Enq", ("b",))
+DEQ_A = event("Deq", (), ok("a"))
+DEQ_B = event("Deq", (), ok("b"))
+
+
+def _paper_section_31(queue_fix=True):
+    """The behavioral Queue history from Section 3.1 (B dequeues A's x)."""
+    return BehavioralHistory.build(
+        Begin("A"),
+        Op(event("Enq", ("x",)), "A"),
+        Begin("B"),
+        Op(event("Enq", ("y",)), "B"),
+        Commit("A"),
+        Op(event("Deq", (), ok("x")), "B"),
+        Commit("B"),
+    )
+
+
+class TestStaticAtomicity:
+    def test_paper_example_is_static_atomic(self, queue, queue_oracle):
+        prop = StaticAtomicity(queue, queue_oracle)
+        assert prop.admits(_paper_section_31())
+
+    def test_commit_order_against_begin_order_rejected(self, queue, queue_oracle):
+        # B begins after A but B's enqueue must serialize first for the
+        # dequeue to be legal — impossible in begin order.
+        history = BehavioralHistory.build(
+            Begin("A"),
+            Begin("B"),
+            Op(ENQ_B, "B"),
+            Commit("B"),
+            Op(ENQ_A, "A"),
+            Op(DEQ_B, "A"),
+            Commit("A"),
+        )
+        prop = StaticAtomicity(queue, queue_oracle)
+        assert not prop.admits(history)
+
+    def test_online_requirement_bites_before_commit(self, queue, queue_oracle):
+        # Two active actions that both dequeued the same item: committing
+        # both in begin order is illegal, so the history is rejected even
+        # though neither committed yet.
+        history = BehavioralHistory.build(
+            Begin("A"),
+            Op(ENQ_A, "A"),
+            Commit("A"),
+            Begin("B"),
+            Begin("C"),
+            Op(DEQ_A, "B"),
+            Op(DEQ_A, "C"),
+        )
+        prop = StaticAtomicity(queue, queue_oracle)
+        assert not prop.admits(history)
+
+    def test_aborted_actions_ignored(self, queue, queue_oracle):
+        # B enqueues and aborts; A's Deq();Empty() is then legal because
+        # the aborted enqueue has no effect.  Had B stayed active, the
+        # on-line check (commit B after A) would reject the history.
+        empty = event("Deq", (), signal("Empty"))
+        history = BehavioralHistory.build(
+            Begin("B"),
+            Op(ENQ_A, "B"),
+            Abort("B"),
+            Begin("A"),
+            Op(empty, "A"),
+            Commit("A"),
+        )
+        prop = StaticAtomicity(queue, queue_oracle)
+        assert prop.admits(history)
+        still_active = BehavioralHistory.build(
+            Begin("B"),
+            Op(ENQ_A, "B"),
+            Begin("A"),
+            Op(empty, "A"),
+        )
+        assert not prop.admits(still_active)
+
+
+class TestHybridAtomicity:
+    def test_commit_order_serialization_accepted(self, queue, queue_oracle):
+        # Same history rejected by static: commit order is B then A.
+        history = BehavioralHistory.build(
+            Begin("A"),
+            Begin("B"),
+            Op(ENQ_B, "B"),
+            Commit("B"),
+            Op(ENQ_A, "A"),
+            Op(DEQ_B, "A"),
+            Commit("A"),
+        )
+        prop = HybridAtomicity(queue, queue_oracle)
+        assert prop.admits(history)
+
+    def test_hybrid_rejects_wrong_commit_order(self, queue, queue_oracle):
+        history = BehavioralHistory.build(
+            Begin("A"),
+            Begin("B"),
+            Op(ENQ_A, "A"),
+            Op(DEQ_A, "B"),  # B reads A's uncommitted enqueue…
+            Commit("B"),     # …and commits first: Deq before Enq — illegal.
+        )
+        prop = HybridAtomicity(queue, queue_oracle)
+        assert not prop.admits(history)
+
+    def test_online_all_commit_permutations_checked(self, queue, queue_oracle):
+        # Two active actions with non-commuting enqueues are fine under
+        # hybrid (either commit order works for a queue with two items).
+        history = BehavioralHistory.build(
+            Begin("A"), Begin("B"), Op(ENQ_A, "A"), Op(ENQ_B, "B")
+        )
+        prop = HybridAtomicity(queue, queue_oracle)
+        assert prop.admits(history)
+
+
+class TestDynamicAtomicity:
+    def test_concurrent_noncommuting_enqueues_rejected(self, queue, queue_oracle):
+        # Dynamic atomicity demands all precedes-consistent orders be
+        # equivalent; Enq(a) and Enq(b) by concurrent actions are not.
+        history = BehavioralHistory.build(
+            Begin("A"), Begin("B"), Op(ENQ_A, "A"), Op(ENQ_B, "B")
+        )
+        prop = DynamicAtomicity(queue, queue_oracle)
+        assert not prop.admits(history)
+
+    def test_precedes_order_restores_admission(self, queue, queue_oracle):
+        # Same operations, but B acts after A commits: only one order.
+        history = BehavioralHistory.build(
+            Begin("A"),
+            Begin("B"),
+            Op(ENQ_A, "A"),
+            Commit("A"),
+            Op(ENQ_B, "B"),
+        )
+        prop = DynamicAtomicity(queue, queue_oracle)
+        assert prop.admits(history)
+
+    def test_commuting_concurrency_allowed(self, register, register_oracle):
+        # Two reads commute: concurrent readers are fine under locking.
+        read0 = event("Read", (), ok("0"))
+        history = BehavioralHistory.build(
+            Begin("A"), Begin("B"), Op(read0, "A"), Op(read0, "B")
+        )
+        prop = DynamicAtomicity(register, register_oracle)
+        assert prop.admits(history)
+
+    def test_dynamic_subset_of_hybrid(self, queue, queue_oracle):
+        bounds = ExplorationBounds(max_ops=2, max_actions=2)
+        dynamic = DynamicAtomicity(queue, queue_oracle)
+        hybrid = HybridAtomicity(queue, queue_oracle)
+        for history in behavioral_histories(dynamic, bounds):
+            assert hybrid.admits(history)
+
+
+class TestGenericAtomicity:
+    def test_atomic_in_some_order(self, queue, queue_oracle):
+        history = BehavioralHistory.build(
+            Begin("A"),
+            Begin("B"),
+            Op(ENQ_B, "B"),
+            Op(DEQ_B, "A"),
+            Commit("A"),
+            Commit("B"),
+        )
+        assert is_atomic(queue_oracle, history)
+
+    def test_not_atomic_in_any_order(self, queue, queue_oracle):
+        history = BehavioralHistory.build(
+            Begin("A"),
+            Begin("B"),
+            Op(DEQ_A, "A"),
+            Op(DEQ_A, "B"),
+            Op(ENQ_A, "A"),
+            Commit("A"),
+            Commit("B"),
+        )
+        assert not is_atomic(queue_oracle, history)
+
+
+class TestCompareConcurrency:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_concurrency(
+            Queue(), ExplorationBounds(max_ops=3, max_actions=2)
+        )
+
+    def test_dynamic_contained_in_hybrid(self, comparison):
+        assert comparison.contains("dynamic", "hybrid")
+
+    def test_hybrid_strictly_larger_than_dynamic(self, comparison):
+        assert not comparison.contains("hybrid", "dynamic")
+
+    def test_static_hybrid_incomparable(self, comparison):
+        assert comparison.incomparable("static", "hybrid")
+
+    def test_static_dynamic_incomparable(self, comparison):
+        assert comparison.incomparable("static", "dynamic")
+
+    def test_counts_consistent(self, comparison):
+        assert comparison.universe_size >= max(comparison.admitted.values())
+
+    def test_summary_renders(self, comparison):
+        text = comparison.summary()
+        assert "Queue" in text and "hybrid" in text

@@ -1,0 +1,101 @@
+"""Tests for the available-copies method — including its partition anomaly."""
+
+import pytest
+
+from repro.atomicity.properties import is_serializable_in_some_order
+from repro.errors import UnavailableError
+from repro.histories.events import Invocation, ok, signal
+from repro.replication.available_copies import AvailableCopiesObject
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.spec.legality import LegalityOracle
+from repro.types import Queue
+
+ENQ_X = Invocation("Enq", ("x",))
+DEQ = Invocation("Deq")
+
+
+def _object(n_sites=3, seed=0):
+    network = Network(Simulator(seed=seed), n_sites)
+    return AvailableCopiesObject("q", Queue(), network), network
+
+
+class TestHealthyOperation:
+    def test_read_one_write_all(self):
+        obj, _network = _object()
+        assert obj.execute(0, ENQ_X) == ok()
+        # All copies updated.
+        states = {copy.state for copy in obj.copies}
+        assert states == {("x",)}
+
+    def test_fifo_preserved_without_failures(self):
+        obj, _network = _object()
+        obj.execute(0, Invocation("Enq", ("a",)))
+        obj.execute(1, Invocation("Enq", ("b",)))
+        assert obj.execute(2, DEQ) == ok("a")
+
+    def test_crashed_site_configured_out(self):
+        obj, network = _object()
+        network.crash(1)
+        assert obj.execute(0, ENQ_X) == ok()
+        assert obj.copies[1].state == ()  # missed the write
+        assert obj.copies[2].state == ("x",)
+
+    def test_recovered_site_serves_stale_state(self):
+        # The method's well-known recovery gap, distilled.
+        obj, network = _object()
+        network.crash(1)
+        obj.execute(0, ENQ_X)
+        network.recover(1)
+        # A client local to site 1 reads the stale copy.
+        assert obj.execute(1, DEQ) == signal("Empty")
+
+    def test_unavailable_only_when_everything_down(self):
+        obj, network = _object()
+        for site in range(3):
+            network.crash(site)
+        with pytest.raises(UnavailableError):
+            obj.execute(0, ENQ_X)
+
+
+class TestPartitionAnomaly:
+    def test_partition_breaks_serializability(self):
+        """The paper's Section 2 claim, observed: both partition sides
+        dequeue the same item, and no serial order explains it."""
+        obj, network = _object()
+        obj.execute(0, ENQ_X)
+        network.partition({0}, {1, 2})
+        left = obj.execute(0, DEQ)
+        right = obj.execute(1, DEQ)
+        assert left == ok("x") and right == ok("x")  # the double dequeue
+
+        history = obj.to_behavioral_history()
+        oracle = LegalityOracle(Queue())
+        assert not is_serializable_in_some_order(oracle, history)
+
+    def test_same_scenario_safe_under_quorum_consensus(self):
+        """Quorum consensus answers the partition with unavailability."""
+        from repro.dependency import known
+        from tests.helpers import queue_system
+
+        cluster, obj = queue_system("hybrid", n_sites=3, seed=0)
+        fe0, fe1 = cluster.frontends[0], cluster.frontends[1]
+        txn = cluster.tm.begin(0)
+        fe0.execute(txn, "obj", ENQ_X)
+        cluster.tm.commit(txn)
+
+        cluster.network.partition({0}, {1, 2})
+        minority_txn = cluster.tm.begin(0)
+        with pytest.raises(UnavailableError):
+            fe0.execute(minority_txn, "obj", DEQ)
+        cluster.tm.abort(minority_txn, "partitioned")
+
+        majority_txn = cluster.tm.begin(1)
+        assert fe1.execute(majority_txn, "obj", DEQ) == ok("x")
+        cluster.tm.commit(majority_txn)
+
+        from repro.atomicity.properties import HybridAtomicity
+
+        history = obj.recorder.to_behavioral_history()
+        checker = HybridAtomicity(obj.datatype, LegalityOracle(obj.datatype))
+        assert checker.admits(history)

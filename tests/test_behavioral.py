@@ -1,0 +1,127 @@
+"""Unit tests for behavioral histories and their well-formedness rules."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.histories.behavioral import (
+    Abort,
+    Begin,
+    BehavioralHistory,
+    Commit,
+    Op,
+    run_serially,
+)
+from repro.histories.events import event, ok
+
+
+def _paper_example():
+    """The behavioral Queue history from Section 3.1."""
+    return BehavioralHistory.build(
+        Begin("A"),
+        Op(event("Enq", ("x",)), "A"),
+        Begin("B"),
+        Op(event("Enq", ("y",)), "B"),
+        Commit("A"),
+        Op(event("Deq", (), ok("x")), "B"),
+        Commit("B"),
+    )
+
+
+class TestWellFormedness:
+    def test_paper_example_is_well_formed(self):
+        assert len(_paper_example()) == 7
+
+    def test_op_before_begin_rejected(self):
+        with pytest.raises(SpecificationError):
+            BehavioralHistory.build(Op(event("Enq", ("x",)), "A"))
+
+    def test_double_begin_rejected(self):
+        with pytest.raises(SpecificationError):
+            BehavioralHistory.build(Begin("A"), Begin("A"))
+
+    def test_op_after_commit_rejected(self):
+        with pytest.raises(SpecificationError):
+            BehavioralHistory.build(
+                Begin("A"), Commit("A"), Op(event("Enq", ("x",)), "A")
+            )
+
+    def test_commit_after_abort_rejected(self):
+        with pytest.raises(SpecificationError):
+            BehavioralHistory.build(Begin("A"), Abort("A"), Commit("A"))
+
+    def test_double_commit_rejected(self):
+        with pytest.raises(SpecificationError):
+            BehavioralHistory.build(Begin("A"), Commit("A"), Commit("A"))
+
+    def test_commit_without_begin_rejected(self):
+        with pytest.raises(SpecificationError):
+            BehavioralHistory.build(Commit("A"))
+
+
+class TestDerivedState:
+    def test_begin_order(self):
+        assert _paper_example().begin_order == ("A", "B")
+
+    def test_commit_order(self):
+        assert _paper_example().commit_order == ("A", "B")
+
+    def test_active_empty_after_all_commit(self):
+        assert _paper_example().active == frozenset()
+
+    def test_active_tracks_uncommitted(self):
+        history = BehavioralHistory.build(Begin("A"), Begin("B"), Commit("A"))
+        assert history.active == {"B"}
+
+    def test_aborted_excluded_from_active_and_committed(self):
+        history = BehavioralHistory.build(Begin("A"), Abort("A"))
+        assert history.aborted == {"A"}
+        assert history.active == frozenset()
+        assert history.committed == frozenset()
+
+    def test_events_of_preserves_order(self):
+        history = _paper_example()
+        assert history.events_of("B") == (
+            event("Enq", ("y",)),
+            event("Deq", (), ok("x")),
+        )
+
+    def test_events_of_unknown_action_is_empty(self):
+        assert _paper_example().events_of("Z") == ()
+
+    def test_ops_in_history_order(self):
+        ops = _paper_example().ops()
+        assert [op.action for op in ops] == ["A", "B", "B"]
+
+
+class TestConstruction:
+    def test_append_returns_new_history(self):
+        base = BehavioralHistory.build(Begin("A"))
+        extended = base.append(Commit("A"))
+        assert len(base) == 1 and len(extended) == 2
+
+    def test_prefix_and_prefixes(self):
+        history = _paper_example()
+        assert len(list(history.prefixes())) == len(history) + 1
+        assert history.prefix(0) == BehavioralHistory()
+
+    def test_commit_all_appends_in_order(self):
+        base = BehavioralHistory.build(Begin("A"), Begin("B"))
+        committed = base.commit_all(["B", "A"])
+        assert committed.commit_order == ("B", "A")
+
+    def test_run_serially_builds_sequential_history(self):
+        history = run_serially(
+            [("A", [event("Enq", ("x",))]), ("B", [event("Deq", (), ok("x"))])]
+        )
+        assert history.commit_order == ("A", "B")
+        assert history.begin_order == ("A", "B")
+        # A commits before B begins: entries alternate Begin/op/Commit.
+        assert isinstance(history[2], Commit)
+
+    def test_equality_and_hash(self):
+        assert _paper_example() == _paper_example()
+        assert hash(_paper_example()) == hash(_paper_example())
+
+    def test_str_one_entry_per_line(self):
+        text = str(BehavioralHistory.build(Begin("A"), Commit("A")))
+        assert text.splitlines() == ["Begin A", "Commit A"]

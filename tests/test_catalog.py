@@ -1,0 +1,38 @@
+"""Tests for the dependency catalog."""
+
+import pytest
+
+from repro.core.catalog import CatalogEntry, catalog_entry, catalog_table
+from repro.types import Counter, Mutex, Queue, Register, SemiQueue
+
+
+class TestCatalogEntry:
+    def test_entry_fields(self):
+        entry = catalog_entry(Register(), bound=3)
+        assert entry.datatype == "Register"
+        assert entry.operations == 2
+        assert 0 < entry.static_coupling <= 1.0
+        assert 0 < entry.dynamic_coupling <= 1.0
+
+    def test_semiqueue_weaker_than_queue(self):
+        queue = catalog_entry(Queue(), bound=3)
+        semiqueue = catalog_entry(SemiQueue(), bound=3)
+        assert semiqueue.dynamic_coupling < queue.dynamic_coupling
+
+    def test_mutex_heavily_coupled(self):
+        mutex = catalog_entry(Mutex(), bound=3)
+        counter = catalog_entry(Counter(), bound=3)
+        assert mutex.dynamic_coupling > counter.dynamic_coupling
+
+    def test_table_sorted_by_dynamic_coupling(self):
+        entries = [
+            catalog_entry(Queue(), bound=3),
+            catalog_entry(SemiQueue(), bound=3),
+        ]
+        text = catalog_table(entries)
+        assert text.index("SemiQueue") < text.index("Queue ")
+
+    def test_row_renders(self):
+        entry = catalog_entry(Register(), bound=3)
+        row = entry.row()
+        assert "Register" in row and "%" in row

@@ -1,0 +1,189 @@
+"""Behavioral tests for the three concurrency-control schemes.
+
+Each test drives concrete conflict scenarios through real front-ends and
+checks the scheme-specific outcome: who proceeds, who waits, who aborts.
+The scenarios mirror the paper's motivating examples — e.g. under hybrid
+atomicity two transactions may write a PROM concurrently, while
+commutativity locking must serialize them.
+"""
+
+import pytest
+
+from repro.errors import ConflictError, TransactionAborted
+from repro.histories.events import Invocation, ok, signal
+from tests.helpers import prom_system, queue_system
+
+ENQ_A = Invocation("Enq", ("a",))
+ENQ_B = Invocation("Enq", ("b",))
+DEQ = Invocation("Deq")
+WRITE_X = Invocation("Write", ("x",))
+WRITE_Y = Invocation("Write", ("y",))
+SEAL = Invocation("Seal")
+READ = Invocation("Read")
+
+
+class TestHybridScheme:
+    def test_concurrent_prom_writes_allowed(self):
+        """≥H has no Write/Write pair: uncommitted writes coexist."""
+        cluster, _obj = prom_system("hybrid")
+        fe = cluster.frontends[0]
+        t1, t2 = cluster.tm.begin(0), cluster.tm.begin(0)
+        assert fe.execute(t1, "obj", WRITE_X) == ok()
+        assert fe.execute(t2, "obj", WRITE_Y) == ok()
+        cluster.tm.commit(t1)
+        cluster.tm.commit(t2)
+
+    def test_seal_blocks_behind_active_write(self):
+        """Seal ≥H Write;Ok: sealing must wait for uncommitted writes."""
+        cluster, _obj = prom_system("hybrid")
+        fe = cluster.frontends[0]
+        writer, sealer = cluster.tm.begin(0), cluster.tm.begin(0)
+        fe.execute(writer, "obj", WRITE_X)
+        with pytest.raises(ConflictError) as excinfo:
+            fe.execute(sealer, "obj", SEAL)
+        assert not excinfo.value.fatal
+        assert excinfo.value.holder == writer.id
+
+    def test_seal_proceeds_after_writer_commits(self):
+        cluster, _obj = prom_system("hybrid")
+        fe = cluster.frontends[0]
+        writer, sealer = cluster.tm.begin(0), cluster.tm.begin(0)
+        fe.execute(writer, "obj", WRITE_X)
+        cluster.tm.commit(writer)
+        assert fe.execute(sealer, "obj", SEAL) == ok()
+        cluster.tm.commit(sealer)
+        reader = cluster.tm.begin(0)
+        assert fe.execute(reader, "obj", READ) == ok("x")
+
+    def test_response_reflects_commit_order_serialization(self):
+        """A read sees exactly the committed prefix in commit order."""
+        cluster, _obj = queue_system("hybrid")
+        fe = cluster.frontends[0]
+        first, second = cluster.tm.begin(0), cluster.tm.begin(0)
+        fe.execute(second, "obj", ENQ_B)
+        cluster.tm.commit(second)
+        fe.execute(first, "obj", ENQ_A)
+        cluster.tm.commit(first)
+        reader = cluster.tm.begin(0)
+        # Commit order: second then first, so b is at the front.
+        assert fe.execute(reader, "obj", DEQ) == ok("b")
+
+    def test_own_uncommitted_events_visible(self):
+        cluster, _obj = queue_system("hybrid")
+        fe = cluster.frontends[0]
+        txn = cluster.tm.begin(0)
+        fe.execute(txn, "obj", ENQ_A)
+        assert fe.execute(txn, "obj", DEQ) == ok("a")
+
+
+class TestStaticScheme:
+    def test_late_transaction_aborts_fatally(self):
+        """A transaction whose begin position was overtaken must abort."""
+        cluster, _obj = prom_system("static")
+        fe = cluster.frontends[0]
+        early = cluster.tm.begin(0)   # begins before the seal commits
+        sealer = cluster.tm.begin(0)
+        fe.execute(sealer, "obj", SEAL)
+        cluster.tm.commit(sealer)
+        # early would serialize BEFORE the committed seal; a Write;Ok()
+        # before the seal invalidates nothing — but a Read at early's
+        # position must signal Disabled (the seal comes after it).
+        assert fe.execute(early, "obj", READ) == signal("Disabled")
+
+    def test_write_before_committed_read_position_aborts(self):
+        cluster, _obj = prom_system("static")
+        fe = cluster.frontends[0]
+        early = cluster.tm.begin(0)
+        late = cluster.tm.begin(0)
+        fe.execute(late, "obj", WRITE_X)
+        fe_seal = cluster.tm.begin(0)
+        fe.execute(fe_seal, "obj", SEAL)
+        cluster.tm.commit(late)
+        cluster.tm.commit(fe_seal)
+        reader = cluster.tm.begin(0)
+        assert fe.execute(reader, "obj", READ) == ok("x")
+        cluster.tm.commit(reader)
+        # Now `early` writes y: serialized before Write(x), harmless.
+        assert fe.execute(early, "obj", WRITE_Y) == ok()
+        cluster.tm.commit(early)
+
+    def test_conflicting_write_at_earlier_position_rejected(self):
+        """The Theorem 5 scenario, enforced by the static scheme."""
+        cluster, _obj = prom_system("static")
+        fe = cluster.frontends[0]
+        a = cluster.tm.begin(0)       # begin order A < B, as in the paper
+        b = cluster.tm.begin(0)
+        fe.execute(a, "obj", WRITE_X)
+        cluster.tm.commit(a)
+        c = cluster.tm.begin(0)
+        fe.execute(c, "obj", SEAL)
+        cluster.tm.commit(c)
+        d = cluster.tm.begin(0)
+        assert fe.execute(d, "obj", READ) == ok("x")
+        cluster.tm.commit(d)
+        # B's Write(y) would serialize before the seal and invalidate
+        # D's committed read of x — fatal conflict.
+        with pytest.raises(ConflictError) as excinfo:
+            fe.execute(b, "obj", WRITE_Y)
+        assert excinfo.value.fatal
+
+    def test_uncommitted_conflict_is_waitable(self):
+        """Conflicts with *active* transactions are non-fatal."""
+        cluster, _obj = queue_system("static")
+        fe = cluster.frontends[0]
+        first = cluster.tm.begin(0)
+        second = cluster.tm.begin(0)
+        fe.execute(first, "obj", ENQ_A)
+        # second's Deq would return a only if first commits; the response
+        # depends on an uncommitted event → wait, not abort.
+        with pytest.raises(ConflictError) as excinfo:
+            fe.execute(second, "obj", DEQ)
+        assert not excinfo.value.fatal
+        assert excinfo.value.holder == first.id
+
+
+class TestDynamicScheme:
+    def test_noncommuting_enqueues_conflict(self):
+        cluster, _obj = queue_system("dynamic")
+        fe = cluster.frontends[0]
+        t1, t2 = cluster.tm.begin(0), cluster.tm.begin(0)
+        fe.execute(t1, "obj", ENQ_A)
+        with pytest.raises(ConflictError) as excinfo:
+            fe.execute(t2, "obj", ENQ_B)
+        assert not excinfo.value.fatal
+        assert excinfo.value.holder == t1.id
+
+    def test_lock_released_on_commit(self):
+        cluster, _obj = queue_system("dynamic")
+        fe = cluster.frontends[0]
+        t1, t2 = cluster.tm.begin(0), cluster.tm.begin(0)
+        fe.execute(t1, "obj", ENQ_A)
+        cluster.tm.commit(t1)
+        assert fe.execute(t2, "obj", ENQ_B) == ok()
+
+    def test_lock_released_on_abort(self):
+        cluster, _obj = queue_system("dynamic")
+        fe = cluster.frontends[0]
+        t1, t2 = cluster.tm.begin(0), cluster.tm.begin(0)
+        fe.execute(t1, "obj", ENQ_A)
+        cluster.tm.abort(t1)
+        assert fe.execute(t2, "obj", ENQ_B) == ok()
+
+    def test_commuting_operations_concurrent(self):
+        """Two reads of a register commute — no conflict under locking."""
+        from repro.types import Register
+        from tests.helpers import small_system
+
+        cluster, _obj = small_system(Register(), "dynamic")
+        fe = cluster.frontends[0]
+        t1, t2 = cluster.tm.begin(0), cluster.tm.begin(0)
+        read = Invocation("Read")
+        assert fe.execute(t1, "obj", read) == ok("0")
+        assert fe.execute(t2, "obj", read) == ok("0")
+
+    def test_same_value_enqueues_commute_and_proceed(self):
+        cluster, _obj = queue_system("dynamic")
+        fe = cluster.frontends[0]
+        t1, t2 = cluster.tm.begin(0), cluster.tm.begin(0)
+        fe.execute(t1, "obj", ENQ_A)
+        assert fe.execute(t2, "obj", ENQ_A) == ok()

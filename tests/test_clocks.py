@@ -1,0 +1,109 @@
+"""Unit tests for Lamport clocks and timestamps."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clocks.lamport import LamportClock
+from repro.clocks.timestamps import ZERO, Timestamp, TimestampGenerator
+
+
+class TestTimestamp:
+    def test_ordering_by_counter_first(self):
+        assert Timestamp(1, 5) < Timestamp(2, 0)
+
+    def test_site_breaks_ties(self):
+        assert Timestamp(3, 1) < Timestamp(3, 2)
+
+    def test_total_order_is_strict(self):
+        assert not Timestamp(3, 1) < Timestamp(3, 1)
+
+    def test_equality(self):
+        assert Timestamp(4, 2) == Timestamp(4, 2)
+        assert Timestamp(4, 2) != Timestamp(4, 3)
+
+    def test_next_at_is_strictly_later_regardless_of_site(self):
+        ts = Timestamp(7, 9)
+        assert ts.next_at(0) > ts
+
+    def test_zero_precedes_everything_generable(self):
+        assert ZERO < Timestamp(0, 0)
+        assert ZERO < Timestamp(1, -1 + 1)
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Timestamp(1, 1), Timestamp(1, 1), Timestamp(1, 2)}) == 2
+
+    @given(
+        st.tuples(st.integers(0, 1000), st.integers(0, 50)),
+        st.tuples(st.integers(0, 1000), st.integers(0, 50)),
+    )
+    def test_order_is_antisymmetric(self, a, b):
+        first, second = Timestamp(*a), Timestamp(*b)
+        if first < second:
+            assert not second < first
+
+
+class TestTimestampGenerator:
+    def test_strictly_increasing(self):
+        gen = TimestampGenerator(site=3)
+        produced = [gen.next() for _ in range(10)]
+        assert produced == sorted(produced)
+        assert len(set(produced)) == 10
+
+    def test_peek_does_not_advance(self):
+        gen = TimestampGenerator()
+        assert gen.peek() == gen.next()
+
+    def test_site_recorded(self):
+        gen = TimestampGenerator(site=7)
+        assert gen.next().site == 7
+
+    def test_start_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            TimestampGenerator(start=0)
+
+    def test_iteration_yields_timestamps(self):
+        gen = iter(TimestampGenerator(site=1))
+        assert next(gen) < next(gen)
+
+
+class TestLamportClock:
+    def test_tick_advances(self):
+        clock = LamportClock(site=0)
+        assert clock.tick() < clock.tick()
+
+    def test_witness_jumps_past_remote(self):
+        local = LamportClock(site=0)
+        remote = Timestamp(100, 9)
+        assert local.witness(remote) > remote
+
+    def test_witness_of_old_timestamp_still_ticks(self):
+        clock = LamportClock(site=0, start=50)
+        before = clock.now
+        after = clock.witness(Timestamp(1, 1))
+        assert after > before
+
+    def test_happens_before_embedded_in_timestamps(self):
+        a, b, c = LamportClock(site=1), LamportClock(site=2), LamportClock(site=3)
+        t1 = a.tick()
+        t2 = b.witness(t1)  # a -> b
+        t3 = c.witness(t2)  # b -> c
+        assert t1 < t2 < t3
+
+    def test_distinct_sites_never_collide(self):
+        a, b = LamportClock(site=1), LamportClock(site=2)
+        stamps = [a.tick() for _ in range(5)] + [b.tick() for _ in range(5)]
+        assert len(set(stamps)) == 10
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            LamportClock(site=0, start=-1)
+
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=30))
+    def test_witnessing_any_sequence_stays_monotone(self, counters):
+        clock = LamportClock(site=0)
+        previous = clock.now
+        for counter in counters:
+            current = clock.witness(Timestamp(counter, 1))
+            assert current > previous
+            previous = current

@@ -1,0 +1,126 @@
+"""Unit tests for closed subhistories (Definition 1)."""
+
+import pytest
+
+from repro.dependency.closure import (
+    closed_subhistories,
+    dependent_op_indices,
+    is_closed_subhistory,
+    project,
+)
+from repro.dependency.relation import DependencyRelation, SchemaPair
+from repro.histories.behavioral import Abort, Begin, BehavioralHistory, Commit, Op
+from repro.histories.events import Invocation, event, ok
+
+
+ENQ_A = event("Enq", ("a",))
+ENQ_B = event("Enq", ("b",))
+DEQ_A = event("Deq", (), ok("a"))
+
+#: Deq depends on Enq;Ok — a fragment of the Queue static relation.
+REL = DependencyRelation.from_schemas(
+    [SchemaPair("Deq", "Enq", "Ok")],
+    (Invocation("Enq", ("a",)), Invocation("Enq", ("b",)), Invocation("Deq")),
+    (ENQ_A, ENQ_B, DEQ_A),
+)
+
+
+@pytest.fixture()
+def history():
+    """Enq(a) by A, Enq(b) by B, Deq();Ok(a) by C — ops at indices 3,4,5."""
+    return BehavioralHistory.build(
+        Begin("A"),
+        Begin("B"),
+        Begin("C"),
+        Op(ENQ_A, "A"),
+        Op(ENQ_B, "B"),
+        Op(DEQ_A, "C"),
+    )
+
+
+class TestProjection:
+    def test_project_keeps_non_op_entries(self, history):
+        projected = project(history, frozenset({3}))
+        assert projected.actions == {"A", "B", "C"}
+        assert [op.event for op in projected.ops()] == [ENQ_A]
+
+    def test_project_all_is_identity(self, history):
+        assert project(history, frozenset({3, 4, 5})) == history
+
+
+class TestClosure:
+    def test_dropping_undepended_event_is_closed(self, history):
+        # Keeping only the enqueues (no Deq kept) is closed.
+        assert is_closed_subhistory(history, REL, frozenset({3, 4}))
+
+    def test_keeping_dependent_without_dependency_violates(self, history):
+        # Deq kept but Enq(a) dropped: Deq depends on all Enq;Ok events.
+        assert not is_closed_subhistory(history, REL, frozenset({4, 5}))
+        assert not is_closed_subhistory(history, REL, frozenset({5}))
+
+    def test_full_set_always_closed(self, history):
+        assert is_closed_subhistory(history, REL, frozenset({3, 4, 5}))
+
+    def test_aborted_dependencies_may_be_dropped(self):
+        history = BehavioralHistory.build(
+            Begin("A"),
+            Begin("B"),
+            Op(ENQ_A, "A"),
+            Abort("A"),
+            Op(ENQ_B, "B"),
+            Op(DEQ_A, "B"),
+        )
+        # Index 2 is the aborted Enq; dropping it under closure is fine.
+        assert is_closed_subhistory(history, REL, frozenset({4, 5}))
+
+    def test_later_events_never_forced(self, history):
+        # Closure only forces *earlier* dependencies: keeping Enq(a) alone
+        # does not force the later Deq.
+        assert is_closed_subhistory(history, REL, frozenset({3}))
+
+
+class TestEnumeration:
+    def test_all_closed_supersets_enumerated(self, history):
+        kept_sets = {
+            kept for kept, _sub in closed_subhistories(history, REL, frozenset())
+        }
+        # Deq (index 5) may only appear with both enqueues present.
+        assert frozenset({3, 4, 5}) in kept_sets
+        assert frozenset({5}) not in kept_sets
+        assert frozenset({4, 5}) not in kept_sets
+        assert frozenset() in kept_sets
+
+    def test_required_ops_always_included(self, history):
+        for kept, _sub in closed_subhistories(history, REL, frozenset({5})):
+            assert 5 in kept
+            assert {3, 4} <= kept  # closure pulls in both enqueues
+
+    def test_proper_only_excludes_full_history(self, history):
+        kept_sets = {
+            kept
+            for kept, _sub in closed_subhistories(
+                history, REL, frozenset(), proper_only=True
+            )
+        }
+        assert frozenset({3, 4, 5}) not in kept_sets
+
+    def test_subhistories_are_wellformed(self, history):
+        for _kept, sub in closed_subhistories(history, REL, frozenset()):
+            assert sub.actions == history.actions
+
+
+class TestDependentIndices:
+    def test_indices_of_dependencies(self, history):
+        deps = dependent_op_indices(history, REL, Invocation("Deq"))
+        assert deps == {3, 4}
+
+    def test_aborted_events_not_required(self):
+        history = BehavioralHistory.build(
+            Begin("A"), Op(ENQ_A, "A"), Abort("A")
+        )
+        deps = dependent_op_indices(history, REL, Invocation("Deq"))
+        assert deps == frozenset()
+
+    def test_unrelated_invocation_requires_nothing(self, history):
+        deps = dependent_op_indices(history, REL, Invocation("Enq", ("a",)))
+        assert deps == frozenset()

@@ -1,0 +1,68 @@
+"""Tests for the core comparison framework and figure reports."""
+
+import pytest
+
+from repro.atomicity.compare import compare_concurrency
+from repro.atomicity.explore import ExplorationBounds
+from repro.core.compare import compare_dependencies
+from repro.core.report import figure_1_1, figure_1_2, figure_3_1
+from repro.dependency import known
+from repro.histories.events import Invocation
+from repro.types import Queue
+from tests.helpers import queue_system
+
+
+@pytest.fixture(scope="module")
+def queue_comparison():
+    queue = Queue()
+    hybrid = known.ground(queue, known.QUEUE_STATIC, 5)
+    return compare_dependencies(queue, bound=4, hybrid=hybrid, frontier_sites=3)
+
+
+class TestCompareDependencies:
+    def test_static_and_dynamic_computed(self, queue_comparison):
+        assert len(queue_comparison.static) == 8
+        assert len(queue_comparison.dynamic) > 0
+
+    def test_static_contains_supplied_hybrid(self, queue_comparison):
+        # The Queue static relation doubles as a hybrid relation (Thm 4),
+        # and trivially static ⊇ itself.
+        assert queue_comparison.static_contains_hybrid()
+
+    def test_incomparabilities(self, queue_comparison):
+        assert queue_comparison.static_dynamic_incomparable()
+        assert queue_comparison.hybrid_dynamic_incomparable()
+
+    def test_frontiers_computed_per_relation(self, queue_comparison):
+        assert set(queue_comparison.frontiers) == {"static", "dynamic", "hybrid"}
+        for frontier in queue_comparison.frontiers.values():
+            assert frontier
+
+    def test_summary_renders(self, queue_comparison):
+        text = queue_comparison.summary()
+        assert "Queue" in text and "minimal static" in text
+
+
+class TestFigureReports:
+    def test_figure_1_1(self):
+        comparison = compare_concurrency(
+            Queue(), ExplorationBounds(max_ops=2, max_actions=2)
+        )
+        text = figure_1_1(comparison)
+        assert "Figure 1-1" in text
+        assert "Dynamic(T) ⊆ Hybrid(T):          True" in text
+
+    def test_figure_1_2(self, queue_comparison):
+        text = figure_1_2(queue_comparison)
+        assert "Figure 1-2" in text
+        assert "static vs dynamic incomparable:             True" in text
+
+    def test_figure_3_1_renders_repository_columns(self):
+        cluster, _obj = queue_system("hybrid")
+        fe = cluster.frontends[0]
+        txn = cluster.tm.begin(0)
+        fe.execute(txn, "obj", Invocation("Enq", ("a",)))
+        cluster.tm.commit(txn)
+        text = figure_3_1(list(cluster.repositories), "obj")
+        assert "Repository 0" in text and "Repository 2" in text
+        assert "Enq" in text

@@ -1,0 +1,95 @@
+"""Unit tests for dependency relations and schema patterns."""
+
+from repro.dependency.relation import DependencyRelation, SchemaPair
+from repro.histories.events import Event, Invocation, event, ok, signal
+
+ENQ_A = Invocation("Enq", ("a",))
+ENQ_B = Invocation("Enq", ("b",))
+DEQ = Invocation("Deq")
+EV_ENQ_A = event("Enq", ("a",))
+EV_ENQ_B = event("Enq", ("b",))
+EV_DEQ_A = event("Deq", (), ok("a"))
+EV_DEQ_B = event("Deq", (), ok("b"))
+EV_EMPTY = event("Deq", (), signal("Empty"))
+
+ALPHABET = (EV_ENQ_A, EV_ENQ_B, EV_DEQ_A, EV_DEQ_B, EV_EMPTY)
+INVOCATIONS = (ENQ_A, ENQ_B, DEQ)
+
+
+class TestSchemaPair:
+    def test_matches_by_operation_and_kind(self):
+        schema = SchemaPair("Deq", "Enq", "Ok")
+        assert schema.matches(DEQ, EV_ENQ_A)
+        assert not schema.matches(DEQ, EV_EMPTY)
+        assert not schema.matches(ENQ_A, EV_ENQ_A)
+
+    def test_kind_wildcard(self):
+        schema = SchemaPair("Enq", "Deq", None)
+        assert schema.matches(ENQ_A, EV_DEQ_A)
+        assert schema.matches(ENQ_A, EV_EMPTY)
+
+    def test_fixed_args(self):
+        schema = SchemaPair("Shift", "Shift", "Ok", inv_args=(3,), ev_args=(1,))
+        shift3 = Invocation("Shift", (3,))
+        shift2 = Invocation("Shift", (2,))
+        assert schema.matches(shift3, event("Shift", (1,)))
+        assert not schema.matches(shift2, event("Shift", (1,)))
+        assert not schema.matches(shift3, event("Shift", (2,)))
+
+    def test_distinct_against_event_args(self):
+        schema = SchemaPair("Enq", "Enq", "Ok", distinct=True)
+        assert schema.matches(ENQ_A, EV_ENQ_B)
+        assert not schema.matches(ENQ_A, EV_ENQ_A)
+
+    def test_distinct_against_response_values(self):
+        schema = SchemaPair("Enq", "Deq", "Ok", distinct=True)
+        assert schema.matches(ENQ_A, EV_DEQ_B)
+        assert not schema.matches(ENQ_A, EV_DEQ_A)
+
+    def test_str_shows_distinctness(self):
+        assert "y≠x" in str(SchemaPair("Enq", "Deq", "Ok", distinct=True))
+
+
+class TestDependencyRelation:
+    def test_from_schemas_grounds_over_alphabet(self):
+        relation = DependencyRelation.from_schemas(
+            [SchemaPair("Deq", "Enq", "Ok")], INVOCATIONS, ALPHABET
+        )
+        assert relation.depends(DEQ, EV_ENQ_A)
+        assert relation.depends(DEQ, EV_ENQ_B)
+        assert not relation.depends(DEQ, EV_DEQ_A)
+        assert len(relation) == 2
+
+    def test_total_relation(self):
+        total = DependencyRelation.total(INVOCATIONS, ALPHABET)
+        assert len(total) == len(INVOCATIONS) * len(ALPHABET)
+
+    def test_schema_projection_round_trip(self):
+        relation = DependencyRelation.from_schemas(
+            [SchemaPair("Deq", "Enq", "Ok"), SchemaPair("Enq", "Deq", "Empty")],
+            INVOCATIONS,
+            ALPHABET,
+        )
+        ops = {(s.inv_op, s.ev_op, s.ev_kind) for s in relation.schema_pairs()}
+        assert ops == {("Deq", "Enq", "Ok"), ("Enq", "Deq", "Empty")}
+
+    def test_set_algebra(self):
+        small = DependencyRelation([(DEQ, EV_ENQ_A)])
+        big = small.with_pair((DEQ, EV_ENQ_B))
+        assert small < big
+        assert big.without((DEQ, EV_ENQ_B)) == small
+        assert big.difference(small).pairs == {(DEQ, EV_ENQ_B)}
+        assert small.union(big) == big
+
+    def test_iteration_is_deterministic(self):
+        relation = DependencyRelation.total(INVOCATIONS, ALPHABET)
+        assert list(relation) == list(relation)
+
+    def test_describe_lists_ground_pairs(self):
+        relation = DependencyRelation([(DEQ, EV_ENQ_A)])
+        assert "Deq() ≥ Enq('a');Ok()" in relation.describe()
+
+    def test_hash_and_equality(self):
+        first = DependencyRelation([(DEQ, EV_ENQ_A)])
+        second = DependencyRelation([(DEQ, EV_ENQ_A)])
+        assert first == second and hash(first) == hash(second)

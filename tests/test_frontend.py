@@ -1,0 +1,173 @@
+"""Tests for the front-end operation protocol: quorums, failures, views."""
+
+import pytest
+
+from repro.errors import TransactionAborted, UnavailableError
+from repro.histories.events import Invocation, ok, signal
+from repro.quorum.assignment import OperationQuorums, QuorumAssignment
+from repro.quorum.coterie import EmptyCoterie, ThresholdCoterie
+from tests.helpers import prom_system, queue_system
+
+ENQ_A = Invocation("Enq", ("a",))
+DEQ = Invocation("Deq")
+
+
+class TestHappyPath:
+    def test_entries_reach_final_quorum(self):
+        cluster, obj = queue_system("hybrid")
+        fe = cluster.frontends[0]
+        txn = cluster.tm.begin(0)
+        fe.execute(txn, "obj", ENQ_A)
+        cluster.tm.commit(txn)
+        # Majority final quorum: at least 2 of 3 repositories store it.
+        stored = sum(
+            1 for repo in cluster.repositories if repo.entry_count("obj") == 1
+        )
+        assert stored >= 2
+
+    def test_read_your_writes_within_transaction(self):
+        cluster, _obj = queue_system("hybrid")
+        fe = cluster.frontends[0]
+        txn = cluster.tm.begin(0)
+        fe.execute(txn, "obj", ENQ_A)
+        assert fe.execute(txn, "obj", DEQ) == ok("a")
+
+    def test_cross_frontend_visibility_after_commit(self):
+        cluster, _obj = queue_system("hybrid")
+        writer, reader = cluster.frontends[0], cluster.frontends[2]
+        txn = cluster.tm.begin(0)
+        writer.execute(txn, "obj", ENQ_A)
+        cluster.tm.commit(txn)
+        txn2 = cluster.tm.begin(2)
+        assert reader.execute(txn2, "obj", DEQ) == ok("a")
+
+    def test_lamport_clock_witnesses_view(self):
+        cluster, _obj = queue_system("hybrid")
+        first, second = cluster.frontends[0], cluster.frontends[1]
+        txn = cluster.tm.begin(0)
+        first.execute(txn, "obj", ENQ_A)
+        cluster.tm.commit(txn)
+        txn2 = cluster.tm.begin(1)
+        second.execute(txn2, "obj", ENQ_A)
+        # second's entry must be timestamped after first's.
+        logs = [repo.read_log("obj") for repo in cluster.repositories]
+        merged = logs[0]
+        for log in logs[1:]:
+            merged = merged.merge(log)
+        stamps = [entry.ts for entry in merged.ordered()]
+        assert stamps == sorted(stamps) and len(set(stamps)) == len(stamps)
+
+
+class TestUnavailability:
+    def test_initial_quorum_unreachable(self):
+        cluster, _obj = queue_system("hybrid")
+        for site in (1, 2):
+            cluster.network.crash(site)
+        fe = cluster.frontends[0]
+        txn = cluster.tm.begin(0)
+        with pytest.raises(UnavailableError):
+            fe.execute(txn, "obj", ENQ_A)
+        assert txn.is_active  # no side effects; caller may retry
+
+    def test_partition_blocks_minority_side(self):
+        cluster, _obj = queue_system("hybrid")
+        cluster.network.partition({0}, {1, 2})
+        minority = cluster.frontends[0]
+        txn = cluster.tm.begin(0)
+        with pytest.raises(UnavailableError):
+            minority.execute(txn, "obj", ENQ_A)
+
+    def test_majority_side_keeps_working(self):
+        cluster, _obj = queue_system("hybrid")
+        cluster.network.partition({0}, {1, 2})
+        majority_fe = cluster.frontends[1]
+        txn = cluster.tm.begin(1)
+        assert majority_fe.execute(txn, "obj", ENQ_A) == ok()
+
+    def test_final_quorum_failure_aborts_transaction(self):
+        """Crash the other sites between the read and the write phases.
+
+        With a 1-site initial quorum and an all-sites final quorum, the
+        read succeeds from the local site but the write cannot assemble
+        its final quorum, so the transaction aborts.
+        """
+        from repro.types import Queue
+        from repro.dependency import known
+        from tests.helpers import small_system
+
+        n = 3
+        assignment = QuorumAssignment(
+            n,
+            {
+                "Enq": OperationQuorums(
+                    initial=ThresholdCoterie(n, 1), final=ThresholdCoterie(n, n)
+                ),
+                "Deq": OperationQuorums(
+                    initial=ThresholdCoterie(n, n), final=ThresholdCoterie(n, 1)
+                ),
+            },
+        )
+        relation = known.ground(Queue(), known.QUEUE_STATIC, 5)
+        cluster, _obj = small_system(
+            Queue(), "hybrid", relation, n_sites=n, assignment=assignment
+        )
+        cluster.network.crash(1)
+        cluster.network.crash(2)
+        fe = cluster.frontends[0]
+        txn = cluster.tm.begin(0)
+        with pytest.raises(TransactionAborted):
+            fe.execute(txn, "obj", ENQ_A)
+        assert not txn.is_active
+
+    def test_recovery_restores_service(self):
+        cluster, _obj = queue_system("hybrid")
+        for site in (1, 2):
+            cluster.network.crash(site)
+        fe = cluster.frontends[0]
+        txn = cluster.tm.begin(0)
+        with pytest.raises(UnavailableError):
+            fe.execute(txn, "obj", ENQ_A)
+        for site in (1, 2):
+            cluster.network.recover(site)
+        assert fe.execute(txn, "obj", ENQ_A) == ok()
+
+
+class TestQuorumSemantics:
+    def test_empty_initial_coterie_reads_nothing(self):
+        """An operation depending on nothing needs no view and no I/O."""
+        from repro.types import LogObject
+        from repro.dependency.relation import DependencyRelation
+        from tests.helpers import small_system
+
+        n = 3
+        assignment = QuorumAssignment(
+            n,
+            {
+                "Append": OperationQuorums(
+                    initial=EmptyCoterie(n), final=ThresholdCoterie(n, n)
+                ),
+                "Size": OperationQuorums(
+                    initial=ThresholdCoterie(n, 1), final=EmptyCoterie(n)
+                ),
+                "Last": OperationQuorums(
+                    initial=ThresholdCoterie(n, 1), final=EmptyCoterie(n)
+                ),
+            },
+        )
+        cluster, _obj = small_system(
+            LogObject(), "hybrid", DependencyRelation(), n_sites=n,
+            assignment=assignment,
+        )
+        # Appends work even with every *other* site crashed?  No: the
+        # final quorum needs all three.  But the initial read is free.
+        fe = cluster.frontends[0]
+        before = cluster.network.messages_sent
+        txn = cluster.tm.begin(0)
+        fe.execute(txn, "obj", Invocation("Append", ("a",)))
+        # 3 write RPCs (2 messages each), no read RPCs.
+        assert cluster.network.messages_sent - before == 6
+
+    def test_site_order_starts_locally(self):
+        cluster, _obj = queue_system("hybrid")
+        fe = cluster.frontends[1]
+        assert fe._site_order()[0] == 1

@@ -1,0 +1,74 @@
+"""Tests for hybrid dependency relation synthesis."""
+
+import pytest
+
+from repro.atomicity.explore import ExplorationBounds
+from repro.atomicity.properties import HybridAtomicity
+from repro.dependency import known
+from repro.dependency.hybrid_dep import synthesize_hybrid_relation
+from repro.dependency.static_dep import minimal_static_dependency
+from repro.dependency.verify import (
+    VerificationArena,
+    VerificationBounds,
+    find_counterexample,
+)
+from repro.histories.events import event, ok
+from repro.spec.legality import LegalityOracle
+from repro.types import PROM, Counter, Queue
+
+
+def _hybrid_arena(datatype, oracle, events=None, max_ops=3, max_actions=3):
+    return VerificationArena(
+        HybridAtomicity(datatype, oracle),
+        VerificationBounds(
+            ExplorationBounds(max_ops=max_ops, max_actions=max_actions, events=events)
+        ),
+    )
+
+
+class TestSynthesis:
+    def test_queue_synthesis_is_valid(self, queue, queue_oracle):
+        arena = _hybrid_arena(queue, queue_oracle)
+        relation = synthesize_hybrid_relation(arena)
+        assert find_counterexample(relation, arena) is None
+
+    def test_prom_synthesis_beats_theorem4_fallback(self, prom, prom_oracle):
+        """The synthesized PROM relation avoids the two static-only pairs,
+        so it permits strictly better quorum assignments."""
+        events = (
+            event("Write", ("x",)),
+            event("Write", ("y",)),
+            event("Seal"),
+            event("Read", (), ok("x")),
+            event("Read", (), ok("0")),
+        )
+        arena = _hybrid_arena(prom, prom_oracle, events=events, max_actions=4)
+        relation = synthesize_hybrid_relation(arena)
+        assert find_counterexample(relation, arena) is None
+        static = minimal_static_dependency(prom, 3, prom_oracle, events)
+        assert len(relation) < len(static)
+        # In particular Read need not see Writes (the paper's point).
+        from repro.histories.events import Invocation
+
+        assert not relation.depends(Invocation("Read"), event("Write", ("x",)))
+
+    def test_counter_synthesis_valid_and_inc_decoupled(self, counter, counter_oracle):
+        events = (
+            event("Inc"),
+            event("Dec"),
+            event("Read", (), ok(0)),
+            event("Read", (), ok(1)),
+        )
+        arena = _hybrid_arena(counter, counter_oracle, events=events)
+        relation = synthesize_hybrid_relation(arena)
+        assert find_counterexample(relation, arena) is None
+        from repro.histories.events import Invocation
+
+        assert not relation.depends(Invocation("Inc"), event("Inc"))
+
+    def test_synthesis_contains_required_core(self, queue, queue_oracle):
+        from repro.dependency.verify import required_pairs
+
+        arena = _hybrid_arena(queue, queue_oracle)
+        relation = synthesize_hybrid_relation(arena)
+        assert required_pairs(arena) <= relation

@@ -1,0 +1,103 @@
+"""Unit tests for the legality oracle: replay, frontiers, equivalence."""
+
+from repro.histories.events import Invocation, event, ok, signal
+from repro.spec.legality import LegalityOracle
+from repro.types import Queue, Register, SemiQueue
+
+
+class TestLegality:
+    def test_empty_history_is_legal(self, queue_oracle):
+        assert queue_oracle.is_legal(())
+
+    def test_prefix_closed(self, queue_oracle):
+        history = (
+            event("Enq", ("a",)),
+            event("Enq", ("b",)),
+            event("Deq", (), ok("a")),
+        )
+        assert queue_oracle.is_legal(history)
+        for cut in range(len(history)):
+            assert queue_oracle.is_legal(history[:cut])
+
+    def test_extension_of_illegal_stays_illegal(self, queue_oracle):
+        bad = (event("Deq", (), ok("a")),)
+        assert not queue_oracle.is_legal(bad)
+        assert not queue_oracle.is_legal(bad + (event("Enq", ("a",)),))
+
+    def test_is_legal_extension_matches_concatenation(self, queue_oracle):
+        base = (event("Enq", ("a",)),)
+        suffix = (event("Deq", (), ok("a")),)
+        assert queue_oracle.is_legal_extension(base, suffix)
+        assert queue_oracle.is_legal_extension(base, ()) == queue_oracle.is_legal(base)
+        assert not queue_oracle.is_legal_extension(base, (event("Deq", (), ok("b")),))
+
+    def test_memoization_consistent_across_repeats(self, queue_oracle):
+        history = (event("Enq", ("a",)), event("Deq", (), ok("a")))
+        assert queue_oracle.is_legal(history) == queue_oracle.is_legal(history)
+
+
+class TestResponses:
+    def test_responses_reflect_state(self, queue_oracle):
+        after_enq = (event("Enq", ("a",)),)
+        responses = queue_oracle.responses(after_enq, Invocation("Deq"))
+        assert responses == {ok("a")}
+
+    def test_responses_on_empty_queue(self, queue_oracle):
+        assert queue_oracle.responses((), Invocation("Deq")) == {signal("Empty")}
+
+    def test_responses_of_illegal_history_empty(self, queue_oracle):
+        bad = (event("Deq", (), ok("a")),)
+        assert queue_oracle.responses(bad, Invocation("Deq")) == set()
+
+    def test_nondeterministic_responses_enumerated(self):
+        oracle = LegalityOracle(SemiQueue())
+        base = (event("Enq", ("a",)), event("Enq", ("b",)))
+        assert oracle.responses(base, Invocation("Deq")) == {ok("a"), ok("b")}
+
+
+class TestFrontier:
+    def test_frontier_none_for_illegal(self, queue_oracle):
+        assert queue_oracle.frontier_key((event("Deq", (), ok("a")),)) is None
+
+    def test_frontier_tracks_state(self, queue_oracle):
+        one = queue_oracle.frontier_key((event("Enq", ("a",)),))
+        other = queue_oracle.frontier_key((event("Enq", ("b",)),))
+        assert one != other
+
+    def test_nondeterminism_widens_frontier(self):
+        oracle = LegalityOracle(SemiQueue())
+        base = (event("Enq", ("a",)), event("Enq", ("b",)), event("Deq", (), ok("a")))
+        frontier = oracle.frontier_key(base)
+        assert frontier is not None and len(frontier) == 1
+
+
+class TestEquivalence:
+    def test_equivalent_when_final_state_matches(self):
+        oracle = LegalityOracle(Register())
+        overwritten = (event("Write", ("x",)), event("Write", ("y",)))
+        direct = (event("Write", ("y",)),)
+        assert oracle.equivalent(overwritten, direct)
+
+    def test_inequivalent_states(self, queue_oracle):
+        assert not queue_oracle.equivalent(
+            (event("Enq", ("a",)),), (event("Enq", ("b",)),)
+        )
+
+    def test_illegal_never_equivalent(self, queue_oracle):
+        bad = (event("Deq", (), ok("a")),)
+        assert not queue_oracle.equivalent(bad, bad)
+
+    def test_distinguishing_suffix_agrees_with_equivalence(self, queue_oracle):
+        first = (event("Enq", ("a",)),)
+        second = (event("Enq", ("b",)),)
+        suffix = queue_oracle.distinguishing_suffix(first, second, depth=2)
+        assert suffix is not None
+        assert queue_oracle.is_legal_extension(first, suffix) != (
+            queue_oracle.is_legal_extension(second, suffix)
+        )
+
+    def test_no_distinguishing_suffix_for_equivalent(self, queue_oracle):
+        first = (event("Enq", ("a",)), event("Deq", (), ok("a")))
+        second = (event("Deq", (), signal("Empty")),)
+        assert queue_oracle.equivalent(first, second)
+        assert queue_oracle.distinguishing_suffix(first, second, depth=3) is None

@@ -1,0 +1,61 @@
+"""Unit tests for metric recording."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import MetricRecorder
+
+
+class TestMetricRecorder:
+    def test_counts_by_operation_and_outcome(self):
+        metrics = MetricRecorder()
+        metrics.record("Enq", "ok")
+        metrics.record("Enq", "ok")
+        metrics.record("Enq", "conflict")
+        assert metrics.attempts("Enq") == 3
+        assert metrics.count("Enq", "ok") == 2
+
+    def test_availability_counts_only_unavailable(self):
+        metrics = MetricRecorder()
+        metrics.record("Deq", "ok")
+        metrics.record("Deq", "conflict")
+        metrics.record("Deq", "unavailable")
+        metrics.record("Deq", "unavailable")
+        assert metrics.availability("Deq") == pytest.approx(0.5)
+
+    def test_success_and_conflict_rates(self):
+        metrics = MetricRecorder()
+        metrics.record("Deq", "ok")
+        metrics.record("Deq", "conflict")
+        assert metrics.success_rate("Deq") == pytest.approx(0.5)
+        assert metrics.conflict_rate("Deq") == pytest.approx(0.5)
+
+    def test_nan_for_untouched_operation(self):
+        metrics = MetricRecorder()
+        assert math.isnan(metrics.availability("Pop"))
+
+    def test_unknown_outcome_rejected(self):
+        with pytest.raises(ValueError):
+            MetricRecorder().record("Enq", "exploded")
+
+    def test_commit_rate(self):
+        metrics = MetricRecorder()
+        for _ in range(3):
+            metrics.record_commit()
+        metrics.record_abort()
+        assert metrics.commit_rate() == pytest.approx(0.75)
+
+    def test_latency_mean(self):
+        metrics = MetricRecorder()
+        metrics.record("Enq", "ok", latency=2.0)
+        metrics.record("Enq", "ok", latency=4.0)
+        assert metrics.mean_latency("Enq") == pytest.approx(3.0)
+
+    def test_table_renders_all_operations(self):
+        metrics = MetricRecorder()
+        metrics.record("Enq", "ok")
+        metrics.record("Deq", "unavailable")
+        metrics.record_commit()
+        text = metrics.table()
+        assert "Enq" in text and "Deq" in text and "commit rate" in text

@@ -1,0 +1,119 @@
+"""Unit tests for the simulated network fabric."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network, Timeout
+
+
+@pytest.fixture()
+def net():
+    return Network(Simulator(seed=1), n_sites=4, latency=1.0)
+
+
+class TestCrashState:
+    def test_sites_start_up(self, net):
+        assert all(net.is_up(s) for s in range(4))
+
+    def test_crash_and_recover(self, net):
+        net.crash(2)
+        assert not net.is_up(2)
+        assert net.crashed_sites == {2}
+        net.recover(2)
+        assert net.is_up(2)
+
+    def test_unknown_site_rejected(self, net):
+        with pytest.raises(SimulationError):
+            net.crash(9)
+
+
+class TestReachability:
+    def test_all_reachable_by_default(self, net):
+        assert net.reachable(0, 3)
+
+    def test_crashed_site_unreachable_both_ways(self, net):
+        net.crash(1)
+        assert not net.reachable(0, 1)
+        assert not net.reachable(1, 0)
+
+    def test_partition_splits_groups(self, net):
+        net.partition({0, 1}, {2, 3})
+        assert net.reachable(0, 1)
+        assert net.reachable(2, 3)
+        assert not net.reachable(0, 2)
+
+    def test_implicit_rest_group(self, net):
+        net.partition({0})
+        assert not net.reachable(0, 1)
+        assert net.reachable(1, 3)
+
+    def test_heal_restores(self, net):
+        net.partition({0}, {1, 2, 3})
+        net.heal()
+        assert net.reachable(0, 3)
+
+    def test_self_always_reachable_unless_crashed(self, net):
+        net.partition({0}, {1, 2, 3})
+        assert net.reachable(0, 0)
+        net.crash(0)
+        assert not net.reachable(0, 0)
+
+    def test_overlapping_groups_rejected(self, net):
+        with pytest.raises(SimulationError):
+            net.partition({0, 1}, {1, 2})
+
+
+class TestRequest:
+    def test_request_returns_handler_result(self, net):
+        assert net.request(0, 1, lambda: "pong") == "pong"
+
+    def test_request_charges_latency(self, net):
+        before = net.sim.now
+        net.request(0, 1, lambda: None)
+        assert net.sim.now == before + 2.0  # there and back
+
+    def test_request_to_crashed_site_times_out(self, net):
+        net.crash(1)
+        with pytest.raises(Timeout):
+            net.request(0, 1, lambda: "pong")
+
+    def test_request_across_partition_times_out(self, net):
+        net.partition({0}, {1, 2, 3})
+        with pytest.raises(Timeout):
+            net.request(0, 1, lambda: "pong")
+
+    def test_lossy_network_eventually_drops(self):
+        net = Network(Simulator(seed=3), n_sites=2, drop_probability=0.5)
+        outcomes = []
+        for _ in range(40):
+            try:
+                net.request(0, 1, lambda: True)
+                outcomes.append(True)
+            except Timeout:
+                outcomes.append(False)
+        assert True in outcomes and False in outcomes
+        assert net.messages_dropped > 0
+
+
+class TestSend:
+    def test_async_delivery_through_event_queue(self, net):
+        delivered = []
+        net.send(0, 1, lambda: delivered.append("msg"))
+        assert delivered == []
+        net.sim.run()
+        assert delivered == ["msg"]
+
+    def test_send_to_unreachable_dropped(self, net):
+        net.crash(1)
+        delivered = []
+        net.send(0, 1, lambda: delivered.append("msg"))
+        net.sim.run()
+        assert delivered == []
+
+    def test_crash_after_send_prevents_delivery(self, net):
+        delivered = []
+        net.send(0, 1, lambda: delivered.append("msg"))
+        net.crash(1)
+        net.sim.run()
+        assert delivered == []

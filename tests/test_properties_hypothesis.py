@@ -1,0 +1,146 @@
+"""Property-based tests on core invariants (hypothesis).
+
+These target the load-bearing algebraic facts:
+
+* serialization generators agree with the definitions on random
+  behavioral histories (dynamic ⊆ hybrid serializations as sets of
+  serials when precedes is empty, etc.);
+* equivalence via frontiers agrees with bounded observational
+  equivalence on random serial histories;
+* the dependency searches are monotone in their bound;
+* valid threshold choices always satisfy their relation.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.atomicity.properties import (
+    DynamicAtomicity,
+    HybridAtomicity,
+    StaticAtomicity,
+)
+from repro.dependency import known
+from repro.histories.behavioral import Begin, BehavioralHistory, Commit, Op
+from repro.histories.events import Event, Invocation, event, ok, signal
+from repro.histories.serialization import (
+    dynamic_serializations,
+    hybrid_serializations,
+    precedes_pairs,
+    static_serializations,
+)
+from repro.quorum.constraints import satisfies
+from repro.quorum.search import valid_threshold_choices
+from repro.spec.legality import LegalityOracle
+from repro.types import Queue
+
+QUEUE = Queue()
+ORACLE = LegalityOracle(QUEUE)
+
+EVENTS = (
+    event("Enq", ("a",)),
+    event("Enq", ("b",)),
+    event("Deq", (), ok("a")),
+    event("Deq", (), ok("b")),
+    event("Deq", (), signal("Empty")),
+)
+
+
+@st.composite
+def behavioral_histories_strategy(draw):
+    """Random well-formed behavioral histories over two actions."""
+    entries = [Begin("A"), Begin("B")]
+    active = {"A", "B"}
+    steps = draw(st.lists(st.tuples(st.sampled_from("AB"), st.integers(0, 6)),
+                          max_size=6))
+    for action, choice in steps:
+        if action not in active:
+            continue
+        if choice < len(EVENTS):
+            entries.append(Op(EVENTS[choice], action))
+        else:
+            entries.append(Commit(action))
+            active.discard(action)
+    return BehavioralHistory(entries)
+
+
+class TestSerializationInvariants:
+    @given(behavioral_histories_strategy())
+    @settings(max_examples=150, suppress_health_check=[HealthCheck.too_slow])
+    def test_hybrid_serials_subset_of_dynamic(self, history):
+        # Commit order is compatible with the precedes order (Section 5),
+        # so every hybrid serialization is a dynamic serialization — the
+        # reason Dynamic(T) ⊆ Hybrid(T) as behavioral specifications.
+        dynamic = set(dynamic_serializations(history))
+        hybrid = set(hybrid_serializations(history))
+        assert hybrid <= dynamic
+
+    @given(behavioral_histories_strategy())
+    @settings(max_examples=150, suppress_health_check=[HealthCheck.too_slow])
+    def test_static_serial_is_some_hybrid_serial_when_unordered(self, history):
+        # Every static serialization uses some total order of the same
+        # committed set, so it appears among hybrid serializations
+        # whenever no commit order contradicts it; with all actions
+        # active, the sets coincide up to ordering freedom.
+        if not history.commit_order:
+            assert set(static_serializations(history)) <= set(
+                hybrid_serializations(history)
+            )
+
+    @given(behavioral_histories_strategy())
+    @settings(max_examples=150, suppress_health_check=[HealthCheck.too_slow])
+    def test_precedes_is_acyclic(self, history):
+        pairs = precedes_pairs(history)
+        # Follows from linearity of the history: the committing action's
+        # commit precedes the other's later op.
+        assert all((b, a) not in pairs for (a, b) in pairs)
+
+    @given(behavioral_histories_strategy())
+    @settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow])
+    def test_membership_monotone_under_prefix(self, history):
+        prop = HybridAtomicity(QUEUE, ORACLE)
+        if prop.admits(history):
+            for prefix in history.prefixes():
+                assert prop.admits(prefix)
+
+    @given(behavioral_histories_strategy())
+    @settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow])
+    def test_dynamic_membership_implies_hybrid(self, history):
+        dynamic = DynamicAtomicity(QUEUE, ORACLE)
+        hybrid = HybridAtomicity(QUEUE, ORACLE)
+        if dynamic.admits(history):
+            assert hybrid.admits(history)
+
+    @given(behavioral_histories_strategy())
+    @settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow])
+    def test_online_property_commits_stay_admitted(self, history):
+        prop = StaticAtomicity(QUEUE, ORACLE)
+        if prop.admits(history):
+            committed = history.commit_all(sorted(history.active))
+            assert prop.admits(committed)
+
+
+SERIAL = st.lists(st.sampled_from(EVENTS), max_size=5).map(tuple)
+
+
+class TestEquivalenceSoundness:
+    @given(SERIAL, SERIAL)
+    @settings(max_examples=200)
+    def test_frontier_equivalence_matches_observation(self, first, second):
+        if ORACLE.equivalent(first, second):
+            assert ORACLE.distinguishing_suffix(first, second, depth=2) is None
+
+    @given(SERIAL)
+    @settings(max_examples=100)
+    def test_equivalence_reflexive_on_legal(self, history):
+        assert ORACLE.equivalent(history, history) == ORACLE.is_legal(history)
+
+
+class TestQuorumInvariants:
+    @given(st.integers(2, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_every_threshold_choice_satisfies_relation(self, n_sites):
+        relation = known.ground(QUEUE, known.QUEUE_STATIC, 5, ORACLE)
+        operations = ("Deq", "Enq")
+        for choice in valid_threshold_choices(relation, n_sites, operations):
+            assert satisfies(choice.to_assignment(), relation)

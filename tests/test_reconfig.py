@@ -1,0 +1,143 @@
+"""Tests for online quorum reconfiguration."""
+
+import pytest
+
+from repro.atomicity.properties import HybridAtomicity
+from repro.errors import QuorumError, UnavailableError
+from repro.histories.events import Invocation, ok
+from repro.quorum.assignment import OperationQuorums, QuorumAssignment
+from repro.quorum.coterie import EmptyCoterie, ExplicitCoterie, ThresholdCoterie
+from repro.replication.reconfig import (
+    is_transversal,
+    needs_coverage,
+    reconfigure,
+    transversal_size,
+)
+from repro.spec.legality import LegalityOracle
+from tests.helpers import queue_system
+
+ENQ_A = Invocation("Enq", ("a",))
+ENQ_B = Invocation("Enq", ("b",))
+DEQ = Invocation("Deq")
+
+
+def _threshold_assignment(n, init, final):
+    quorums = OperationQuorums(
+        initial=ThresholdCoterie(n, init), final=ThresholdCoterie(n, final)
+    )
+    return QuorumAssignment(n, {"Enq": quorums, "Deq": quorums})
+
+
+class TestTransversals:
+    def test_threshold_transversal_size(self):
+        assert transversal_size(ThresholdCoterie(5, 3)) == 3
+        assert transversal_size(ThresholdCoterie(5, 5)) == 1
+        assert transversal_size(ThresholdCoterie(5, 1)) == 5
+
+    def test_empty_coterie_has_no_transversal(self):
+        assert transversal_size(EmptyCoterie(3)) is None
+        assert not needs_coverage(EmptyCoterie(3))
+
+    def test_explicit_transversal(self):
+        coterie = ExplicitCoterie(4, [{0, 1}, {2, 3}])
+        assert transversal_size(coterie) == 2
+        assert is_transversal(coterie, frozenset({0, 2}))
+        assert not is_transversal(coterie, frozenset({0, 1}))
+
+    def test_threshold_is_transversal(self):
+        coterie = ThresholdCoterie(5, 3)
+        assert is_transversal(coterie, frozenset({0, 1, 2}))
+        assert not is_transversal(coterie, frozenset({0, 1}))
+
+
+class TestReconfigure:
+    def test_data_survives_reassignment(self):
+        cluster, obj = queue_system("hybrid", n_sites=5)
+        fe = cluster.frontends[0]
+        txn = cluster.tm.begin(0)
+        fe.execute(txn, "obj", ENQ_A)
+        cluster.tm.commit(txn)
+
+        # Switch to write-one/read-all (read-optimized -> write-optimized).
+        new_assignment = _threshold_assignment(5, init=5, final=1)
+        reconfigure(cluster.network, cluster.repositories, obj, new_assignment)
+        assert obj.assignment is new_assignment
+
+        reader = cluster.tm.begin(1)
+        assert cluster.frontends[1].execute(reader, "obj", DEQ) == ok("a")
+        cluster.tm.commit(reader)
+
+    def test_round_trip_reconfiguration(self):
+        cluster, obj = queue_system("hybrid", n_sites=5)
+        fe = cluster.frontends[0]
+        txn = cluster.tm.begin(0)
+        fe.execute(txn, "obj", ENQ_A)
+        cluster.tm.commit(txn)
+
+        write_optimized = _threshold_assignment(5, init=5, final=1)
+        reconfigure(cluster.network, cluster.repositories, obj, write_optimized)
+        txn2 = cluster.tm.begin(2)
+        fe2 = cluster.frontends[2]
+        fe2.execute(txn2, "obj", ENQ_B)
+        cluster.tm.commit(txn2)
+
+        balanced = _threshold_assignment(5, init=3, final=3)
+        reconfigure(cluster.network, cluster.repositories, obj, balanced)
+
+        reader = cluster.tm.begin(4)
+        assert cluster.frontends[4].execute(reader, "obj", DEQ) == ok("a")
+        assert cluster.frontends[4].execute(reader, "obj", DEQ) == ok("b")
+        cluster.tm.commit(reader)
+
+        history = obj.recorder.to_behavioral_history()
+        checker = HybridAtomicity(obj.datatype, LegalityOracle(obj.datatype))
+        assert checker.admits(history)
+
+    def test_drain_requires_old_final_transversal(self):
+        # Old finals are majorities (3 of 5): draining needs 3 live sites.
+        cluster, obj = queue_system("hybrid", n_sites=5)
+        for site in (2, 3, 4):
+            cluster.network.crash(site)
+        new_assignment = _threshold_assignment(5, init=5, final=1)
+        with pytest.raises(UnavailableError):
+            reconfigure(cluster.network, cluster.repositories, obj, new_assignment)
+        assert obj.assignment is not new_assignment  # unchanged
+
+    def test_prime_requires_new_initial_transversal(self):
+        # New initial quorums of 1 site need a full transversal (all 5).
+        cluster, obj = queue_system("hybrid", n_sites=5)
+        cluster.network.crash(4)
+        new_assignment = _threshold_assignment(5, init=1, final=5)
+        with pytest.raises(UnavailableError):
+            reconfigure(cluster.network, cluster.repositories, obj, new_assignment)
+
+    def test_universe_change_rejected(self):
+        cluster, obj = queue_system("hybrid", n_sites=5)
+        with pytest.raises(QuorumError):
+            reconfigure(
+                cluster.network,
+                cluster.repositories,
+                obj,
+                _threshold_assignment(3, init=2, final=2),
+            )
+
+    def test_reconfigure_under_partition_majority_side(self):
+        cluster, obj = queue_system("hybrid", n_sites=5)
+        fe = cluster.frontends[0]
+        txn = cluster.tm.begin(0)
+        fe.execute(txn, "obj", ENQ_A)
+        cluster.tm.commit(txn)
+        cluster.network.partition({0, 1}, {2, 3, 4})
+        balanced = _threshold_assignment(5, init=3, final=3)
+        # Coordinator in the majority side can drain majorities (3 live)
+        # and prime 3-site initial quorums.
+        reconfigure(
+            cluster.network,
+            cluster.repositories,
+            obj,
+            balanced,
+            coordinator_site=2,
+        )
+        reader = cluster.tm.begin(3)
+        assert cluster.frontends[3].execute(reader, "obj", DEQ) == ok("a")
+        cluster.tm.commit(reader)

@@ -1,0 +1,73 @@
+"""Tests for history timelines and conflict-matrix rendering."""
+
+from repro.cc.conflicts import commutativity_conflicts, dependency_conflicts
+from repro.dependency import known
+from repro.histories.behavioral import Begin, BehavioralHistory, Commit, Op
+from repro.histories.events import event, ok
+from repro.histories.render import summarize, timeline
+from repro.types import Queue
+
+
+def _history():
+    return BehavioralHistory.build(
+        Begin("A"),
+        Begin("B"),
+        Op(event("Enq", ("x",)), "A"),
+        Commit("A"),
+        Op(event("Deq", (), ok("x")), "B"),
+        Commit("B"),
+    )
+
+
+class TestTimeline:
+    def test_one_column_per_action(self):
+        text = timeline(_history())
+        header = text.splitlines()[0]
+        assert "A" in header and "B" in header
+
+    def test_one_row_per_entry(self):
+        text = timeline(_history())
+        # header + separator + 6 entries
+        assert len(text.splitlines()) == 8
+
+    def test_events_placed_in_their_column(self):
+        lines = timeline(_history()).splitlines()
+        enq_row = next(line for line in lines if "Enq" in line)
+        deq_row = next(line for line in lines if "Deq" in line)
+        # A's column precedes B's, so A's event text starts earlier.
+        assert enq_row.index("Enq") < deq_row.index("Deq")
+
+    def test_empty_history(self):
+        assert timeline(BehavioralHistory()) == "(empty history)"
+
+    def test_summarize(self):
+        text = summarize(_history())
+        assert "2 actions" in text
+        assert "2 operations" in text
+        assert "2 committed" in text
+
+
+class TestConflictMatrix:
+    def test_commutativity_matrix_renders(self):
+        table = commutativity_conflicts(Queue(), 3)
+        text = table.matrix()
+        assert "X" in text and "." in text
+        assert "Enq" in text
+
+    def test_dependency_matrix_symmetric(self):
+        queue = Queue()
+        relation = known.ground(queue, known.QUEUE_STATIC, 4)
+        from repro.spec.enumerate import event_alphabet
+
+        events = event_alphabet(queue, 3)
+        table = dependency_conflicts(relation, events)
+        for first in events:
+            for second in events:
+                assert table.conflict(first, second) == table.conflict(
+                    second, first
+                )
+
+    def test_empty_table(self):
+        from repro.cc.conflicts import ConflictTable
+
+        assert ConflictTable({}).matrix() == "(empty conflict table)"

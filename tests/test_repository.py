@@ -1,0 +1,52 @@
+"""Unit tests for repositories (stable per-site storage)."""
+
+from repro.clocks.timestamps import Timestamp
+from repro.histories.events import event
+from repro.replication.log import Log, LogEntry
+from repro.replication.repository import Repository
+from repro.txn.ids import ActionId
+
+
+def _entry(counter: int) -> LogEntry:
+    return LogEntry(Timestamp(counter, 0), event("Enq", ("a",)), ActionId(1, 0))
+
+
+class TestRepository:
+    def test_empty_log_for_unknown_object(self):
+        repo = Repository(0)
+        assert len(repo.read_log("ghost")) == 0
+
+    def test_write_then_read(self):
+        repo = Repository(0)
+        repo.write_log("q", Log([_entry(1)]))
+        assert len(repo.read_log("q")) == 1
+
+    def test_writes_merge_not_replace(self):
+        repo = Repository(0)
+        repo.write_log("q", Log([_entry(1)]))
+        repo.write_log("q", Log([_entry(2)]))
+        assert len(repo.read_log("q")) == 2
+
+    def test_duplicate_writes_idempotent(self):
+        repo = Repository(0)
+        update = Log([_entry(1)])
+        repo.write_log("q", update)
+        repo.write_log("q", update)
+        assert len(repo.read_log("q")) == 1
+
+    def test_objects_isolated(self):
+        repo = Repository(0)
+        repo.write_log("q1", Log([_entry(1)]))
+        assert len(repo.read_log("q2")) == 0
+        assert repo.stored_objects() == ("q1",)
+
+    def test_append_entry(self):
+        repo = Repository(0)
+        repo.append_entry("q", _entry(1))
+        assert repo.entry_count("q") == 1
+
+    def test_counters_track_traffic(self):
+        repo = Repository(0)
+        repo.write_log("q", Log([_entry(1)]))
+        repo.read_log("q")
+        assert repo.writes_served == 1 and repo.reads_served == 1

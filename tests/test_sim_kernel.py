@@ -1,0 +1,96 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_ties_broken_by_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("first"))
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.advance(10.0)
+        seen = []
+        sim.schedule_at(12.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.0]
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("chained"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "chained"]
+
+
+class TestControl:
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(10.0, lambda: seen.append(10))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_max_events_cap(self):
+        sim = Simulator()
+        for delay in (1.0, 2.0, 3.0):
+            sim.schedule(delay, lambda: None)
+        assert sim.run(max_events=2) == 2
+
+    def test_cancel(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, lambda: seen.append(1))
+        sim.cancel(handle)
+        sim.run()
+        assert seen == []
+
+    def test_determinism_per_seed(self):
+        first = Simulator(seed=7).rng.random()
+        second = Simulator(seed=7).rng.random()
+        assert first == second
+
+    def test_advance_moves_clock_without_dispatch(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.advance(0.5)
+        assert sim.now == 0.5 and sim.pending == 1
+
+    def test_time_cannot_move_backwards(self):
+        with pytest.raises(SimulationError):
+            Simulator().advance(-1.0)

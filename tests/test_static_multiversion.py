@@ -1,0 +1,98 @@
+"""Multiversion behavior of the static scheme (Reed's scheme, emergent).
+
+Reed's multiversion timestamp scheme — the canonical static-atomicity
+mechanism — lets a transaction read *at its begin position* even after
+later-begun transactions committed newer state.  Our static scheme
+implements begin-position insertion with a suffix check, so this
+behavior is emergent rather than special-cased; these tests pin it down.
+"""
+
+import pytest
+
+from repro.errors import ConflictError
+from repro.histories.events import Invocation, ok, signal
+from tests.helpers import prom_system, queue_system, small_system
+
+
+class TestOldPositionReads:
+    def test_read_at_old_position_sees_old_state(self):
+        """A transaction that began before a seal still reads 'unsealed'."""
+        cluster, _obj = prom_system("static")
+        fe = cluster.frontends[0]
+        early = cluster.tm.begin(0)
+        sealer = cluster.tm.begin(0)
+        fe.execute(sealer, "obj", Invocation("Seal"))
+        cluster.tm.commit(sealer)
+        # early reads at its (pre-seal) position: Disabled, and that is
+        # *correct* — a serial execution in begin order has the read
+        # before the seal.
+        assert fe.execute(early, "obj", Invocation("Read")) == signal("Disabled")
+        cluster.tm.commit(early)
+
+    def test_balance_read_at_old_position(self):
+        from repro.types import Account
+
+        cluster, _obj = small_system(Account(), "static")
+        fe = cluster.frontends[0]
+        reader = cluster.tm.begin(0)
+        depositor = cluster.tm.begin(0)
+        fe.execute(depositor, "obj", Invocation("Deposit", (2,)))
+        cluster.tm.commit(depositor)
+        # reader began first: its balance is the pre-deposit 0.
+        assert fe.execute(reader, "obj", Invocation("Balance")) == ok(0)
+        cluster.tm.commit(reader)
+
+    def test_old_position_read_conflicting_with_later_commit_aborts(self):
+        """When the old-position response cannot coexist with later
+        committed state, the reader must abort (too late)."""
+        cluster, _obj = queue_system("static")
+        fe = cluster.frontends[0]
+        early = cluster.tm.begin(0)
+        later = cluster.tm.begin(0)
+        fe.execute(later, "obj", Invocation("Enq", ("a",)))
+        fe.execute(later, "obj", Invocation("Deq"))  # consumes its own 'a'
+        cluster.tm.commit(later)
+        # early's Deq at its earlier position: the only legal response at
+        # that position is Empty, and the suffix (Enq a, Deq;Ok(a))
+        # remains legal after it — so it succeeds.
+        assert fe.execute(early, "obj", Invocation("Deq")) == signal("Empty")
+        cluster.tm.commit(early)
+
+    def test_write_at_old_position_that_breaks_suffix_aborts(self):
+        """An old-position Enq that would change what a later committed
+        Deq returned is rejected fatally."""
+        cluster, _obj = queue_system("static")
+        fe = cluster.frontends[0]
+        early = cluster.tm.begin(0)
+        later = cluster.tm.begin(0)
+        fe.execute(later, "obj", Invocation("Enq", ("a",)))
+        cluster.tm.commit(later)
+        reader = cluster.tm.begin(0)
+        assert fe.execute(reader, "obj", Invocation("Deq")) == ok("a")
+        cluster.tm.commit(reader)
+        # early enqueues b at the front position: serialized first, the
+        # committed Deq would have returned b, not a — fatal.
+        with pytest.raises(ConflictError) as excinfo:
+            fe.execute(early, "obj", Invocation("Enq", ("b",)))
+        assert excinfo.value.fatal
+
+
+class TestReadOnlyTransactionsNeverBlock:
+    def test_reader_ignores_active_writers_it_cannot_see(self):
+        """Static scheme: a reader conflicts with an active writer only
+        if some commit subset makes its response illegal."""
+        from repro.types import Register
+
+        cluster, _obj = small_system(Register(), "static")
+        fe = cluster.frontends[0]
+        writer = cluster.tm.begin(0)
+        reader = cluster.tm.begin(0)
+        fe.execute(writer, "obj", Invocation("Write", ("x",)))
+        # reader began after writer: if writer commits, the read of '0'
+        # becomes illegal -> non-fatal conflict (wait for writer).
+        with pytest.raises(ConflictError) as excinfo:
+            fe.execute(reader, "obj", Invocation("Read"))
+        assert not excinfo.value.fatal
+        cluster.tm.abort(writer)
+        # With the writer gone, the read proceeds.
+        assert fe.execute(reader, "obj", Invocation("Read")) == ok("0")

@@ -1,0 +1,88 @@
+"""Unit tests for Definition 2 verification (arenas and searches)."""
+
+import pytest
+
+from repro.atomicity.explore import ExplorationBounds
+from repro.atomicity.properties import HybridAtomicity, StaticAtomicity
+from repro.dependency.relation import DependencyRelation
+from repro.dependency.verify import (
+    VerificationArena,
+    VerificationBounds,
+    find_counterexample,
+    is_dependency_relation,
+    is_minimal_relation,
+    required_pairs,
+)
+from repro.dependency.static_dep import minimal_static_dependency
+from repro.spec.legality import LegalityOracle
+from repro.types import Register
+
+
+@pytest.fixture(scope="module")
+def register_arena():
+    register = Register(items=("x",))
+    oracle = LegalityOracle(register)
+    prop = StaticAtomicity(register, oracle)
+    return VerificationArena(
+        prop,
+        VerificationBounds(ExplorationBounds(max_ops=3, max_actions=3)),
+    )
+
+
+class TestArena:
+    def test_arena_collects_rejected_appends(self, register_arena):
+        assert register_arena.entries, "some appends must be rejected"
+        prop = register_arena.property
+        for history, rejected in register_arena.entries:
+            assert prop.admits(history)
+            for op in rejected:
+                assert not prop.admits(history.append(op))
+
+    def test_universe_pairs_cover_alphabet(self, register_arena):
+        total = register_arena.universe_pairs()
+        assert len(total) == len(register_arena.invocations) * len(
+            register_arena.append_events
+        )
+
+
+class TestVerification:
+    def test_total_relation_always_valid(self, register_arena):
+        total = register_arena.universe_pairs()
+        assert is_dependency_relation(total, register_arena)
+
+    def test_empty_relation_invalid_for_register(self, register_arena):
+        empty = DependencyRelation()
+        counterexample = find_counterexample(empty, register_arena)
+        assert counterexample is not None
+        text = counterexample.explain()
+        assert "H =" in text and "closed subhistory" in text
+
+    def test_minimal_static_relation_verifies(self, register_arena):
+        register = Register(items=("x",))
+        relation = minimal_static_dependency(register, 3)
+        assert is_dependency_relation(relation, register_arena)
+
+    def test_required_pairs_within_minimal(self, register_arena):
+        register = Register(items=("x",))
+        relation = minimal_static_dependency(register, 3)
+        required = required_pairs(register_arena)
+        assert required <= relation
+
+    def test_required_pairs_relation_is_valid_for_static(self, register_arena):
+        # For static atomicity the required core IS the unique minimal
+        # relation, hence itself valid.
+        required = required_pairs(register_arena)
+        assert is_dependency_relation(required, register_arena)
+
+    def test_minimality_check(self, register_arena):
+        required = required_pairs(register_arena)
+        assert is_minimal_relation(required, register_arena)
+        total = register_arena.universe_pairs()
+        if len(total) > len(required):
+            assert not is_minimal_relation(total, register_arena)
+
+    def test_register_needs_read_write_intersection(self, register_arena):
+        # The classic Gifford constraint: reads must see writes.
+        required = required_pairs(register_arena)
+        ops = {(s.inv_op, s.ev_op, s.ev_kind) for s in required.schema_pairs()}
+        assert ("Read", "Write", "Ok") in ops

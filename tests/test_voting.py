@@ -1,0 +1,51 @@
+"""Unit tests for weighted voting coteries."""
+
+import pytest
+
+from repro.errors import QuorumError
+from repro.quorum.coterie import EmptyCoterie
+from repro.quorum.voting import weighted_voting_coterie
+
+
+class TestWeightedVoting:
+    def test_equal_weights_match_threshold(self):
+        coterie = weighted_voting_coterie([1, 1, 1], 2)
+        assert {frozenset(q) for q in coterie.quorums()} == {
+            frozenset({0, 1}),
+            frozenset({0, 2}),
+            frozenset({1, 2}),
+        }
+
+    def test_heavy_site_alone_forms_quorum(self):
+        coterie = weighted_voting_coterie([3, 1, 1], 3)
+        quorums = set(coterie.quorums())
+        assert frozenset({0}) in quorums
+        assert frozenset({1, 2}) not in quorums  # only 2 votes
+
+    def test_gifford_read_write_example(self):
+        # Weights (1,1,1,1), read threshold 2, write threshold 3:
+        # r + w > total ensures read/write intersection.
+        read = weighted_voting_coterie([1] * 4, 2)
+        write = weighted_voting_coterie([1] * 4, 3)
+        assert read.intersects(write)
+
+    def test_zero_threshold_gives_empty_coterie(self):
+        assert isinstance(weighted_voting_coterie([1, 1], 0), EmptyCoterie)
+
+    def test_unreachable_threshold_unsatisfiable(self):
+        coterie = weighted_voting_coterie([1, 1], 5)
+        assert coterie.smallest_quorum_size() is None
+
+    def test_zero_weight_site_never_needed(self):
+        coterie = weighted_voting_coterie([0, 2], 2)
+        assert set(coterie.quorums()) == {frozenset({1})}
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(QuorumError):
+            weighted_voting_coterie([-1, 2], 1)
+
+    def test_minimal_quorums_only(self):
+        coterie = weighted_voting_coterie([2, 1, 1], 2)
+        quorums = set(coterie.quorums())
+        assert frozenset({0}) in quorums
+        assert frozenset({0, 1}) not in quorums

@@ -1,0 +1,64 @@
+"""Tests for weighted-voting assignment search with heterogeneous sites."""
+
+import pytest
+
+from repro.dependency.static_dep import minimal_static_dependency
+from repro.quorum.availability import operation_availability
+from repro.quorum.constraints import satisfies
+from repro.quorum.search import best_threshold_assignment
+from repro.quorum.voting_search import best_voting_assignment
+from repro.types import Register
+
+
+@pytest.fixture(scope="module")
+def register_relation():
+    return minimal_static_dependency(Register(), 3)
+
+
+class TestBestVotingAssignment:
+    def test_result_satisfies_relation(self, register_relation):
+        _weights, assignment, _score = best_voting_assignment(
+            register_relation, p_up=(0.9, 0.9, 0.9), operations=("Read", "Write")
+        )
+        assert satisfies(assignment, register_relation)
+
+    def test_homogeneous_sites_match_threshold_search(self, register_relation):
+        p = 0.9
+        _w, _assignment, voting_score = best_voting_assignment(
+            register_relation, p_up=(p, p, p), operations=("Read", "Write")
+        )
+        _choice, threshold_score = best_threshold_assignment(
+            register_relation, 3, ("Read", "Write"), p
+        )
+        # With identical sites, weighting cannot beat plain thresholds.
+        assert voting_score == pytest.approx(threshold_score, abs=1e-9)
+
+    def test_reliable_site_attracts_votes(self, register_relation):
+        """One highly reliable site among flaky ones: the optimum gives
+        it more votes and strictly beats the best uniform thresholds."""
+        p_vector = (0.99, 0.6, 0.6)
+        weights, assignment, voting_score = best_voting_assignment(
+            register_relation,
+            p_up=p_vector,
+            operations=("Read", "Write"),
+            workload={"Read": 1.0, "Write": 1.0},
+        )
+        # Best *threshold* (uniform weights) assignment at the same sites:
+        from repro.quorum.search import valid_threshold_choices
+
+        best_uniform = 0.0
+        for choice in valid_threshold_choices(register_relation, 3, ("Read", "Write")):
+            uniform = choice.to_assignment()
+            score = (
+                operation_availability(uniform, "Read", list(p_vector))
+                + operation_availability(uniform, "Write", list(p_vector))
+            ) / 2
+            best_uniform = max(best_uniform, score)
+        assert voting_score > best_uniform
+        assert weights[0] == max(weights)
+
+    def test_score_bounded_by_one(self, register_relation):
+        _w, _a, score = best_voting_assignment(
+            register_relation, p_up=(0.8, 0.8, 0.8), operations=("Read", "Write")
+        )
+        assert 0.0 < score <= 1.0

@@ -1,0 +1,77 @@
+"""Unit tests for the workload driver."""
+
+import pytest
+
+from repro.histories.events import Invocation
+from repro.sim.workload import OperationMix, WorkloadGenerator
+from tests.helpers import queue_system
+
+ENQ_A = Invocation("Enq", ("a",))
+DEQ = Invocation("Deq")
+
+
+class TestOperationMix:
+    def test_uniform_covers_all_invocations(self, queue):
+        mix = OperationMix.uniform("q", queue.invocations())
+        sampled = set()
+        import random
+
+        rng = random.Random(0)
+        for _ in range(200):
+            sampled.add(mix.sample(rng))
+        assert sampled == {("q", inv) for inv in queue.invocations()}
+
+    def test_weighted_sampling_respects_weights(self):
+        mix = OperationMix.weighted([("q", ENQ_A, 9.0), ("q", DEQ, 1.0)])
+        import random
+
+        rng = random.Random(1)
+        counts = {"Enq": 0, "Deq": 0}
+        for _ in range(1000):
+            _name, inv = mix.sample(rng)
+            counts[inv.op] += 1
+        assert counts["Enq"] > counts["Deq"] * 4
+
+
+class TestWorkloadGenerator:
+    def _run(self, scheme: str, seed: int = 0, transactions: int = 20):
+        cluster, obj = queue_system(scheme, seed=seed)
+        mix = OperationMix.uniform("obj", obj.datatype.invocations())
+        generator = WorkloadGenerator(
+            cluster.sim,
+            cluster.tm,
+            cluster.frontends,
+            mix,
+            ops_per_transaction=2,
+            concurrency=3,
+        )
+        metrics = generator.run(transactions)
+        return cluster, obj, metrics
+
+    def test_all_transactions_reach_a_verdict(self):
+        cluster, _obj, metrics = self._run("hybrid")
+        total = metrics.committed_transactions + metrics.aborted_transactions
+        assert total == 20
+        assert cluster.tm.commits == metrics.committed_transactions
+
+    def test_deterministic_per_seed(self):
+        _c1, _o1, first = self._run("hybrid", seed=5)
+        _c2, _o2, second = self._run("hybrid", seed=5)
+        assert first.outcomes == second.outcomes
+
+    def test_different_seeds_differ(self):
+        _c1, _o1, first = self._run("hybrid", seed=1)
+        _c2, _o2, second = self._run("hybrid", seed=2)
+        assert first.outcomes != second.outcomes
+
+    def test_simulated_time_advances(self):
+        cluster, _obj, _metrics = self._run("hybrid")
+        assert cluster.sim.now > 0.0
+
+    def test_locking_scheme_completes_without_stalls(self):
+        _cluster, _obj, metrics = self._run("dynamic", transactions=15)
+        assert metrics.committed_transactions + metrics.aborted_transactions == 15
+
+    def test_no_transaction_left_active(self):
+        cluster, _obj, _metrics = self._run("static")
+        assert all(not txn.is_active for txn in cluster.tm.transactions())
