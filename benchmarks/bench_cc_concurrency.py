@@ -17,6 +17,7 @@ rates are compared.  Expected shape:
 from conftest import report
 
 from repro.dependency import known
+from repro.obs.metrics import Histogram
 from repro.replication.cluster import build_cluster
 from repro.sim.workload import OperationMix, WorkloadGenerator
 from repro.types import Counter, Queue
@@ -53,6 +54,15 @@ def _pooled_commit_rate(runs):
     return commits / (commits + aborts)
 
 
+def _pooled_latency(runs, ops):
+    """All operations' latency samples pooled into one histogram."""
+    merged = Histogram()
+    for metrics in runs:
+        for op in ops:
+            merged.merge(metrics.latency_histogram(op))
+    return merged
+
+
 def test_cc_concurrency_queue(benchmark):
     queue = Queue()
     relation = known.ground(queue, known.QUEUE_STATIC, 5)
@@ -70,7 +80,8 @@ def test_cc_concurrency_queue(benchmark):
         "Replicated Queue, 3 sites, uniform Enq/Deq mix, 4-way concurrency,",
         f"{len(seeds)} seeds × 60 transactions per scheme:",
         "",
-        f"{'scheme':<9} {'commit%':>8} {'Enq conflict%':>14} {'Deq conflict%':>14}",
+        f"{'scheme':<9} {'commit%':>8} {'Enq conflict%':>14} {'Deq conflict%':>14}"
+        f" {'lat p50':>8} {'lat p95':>8} {'lat p99':>8}",
     ]
     rates = {}
     for scheme, runs in results.items():
@@ -78,9 +89,12 @@ def test_cc_concurrency_queue(benchmark):
         enq = _pooled_rate(runs, "Enq", "conflict")
         deq = _pooled_rate(runs, "Deq", "conflict")
         rates[scheme] = (commit, enq, deq)
+        latency = _pooled_latency(runs, ("Enq", "Deq"))
+        assert latency.count > 0  # the workload feeds the histograms
         lines.append(
             f"{scheme:<9} {100 * commit:>7.1f}% {100 * enq:>13.1f}% "
             f"{100 * deq:>13.1f}%"
+            f" {latency.p50:>8.2f} {latency.p95:>8.2f} {latency.p99:>8.2f}"
         )
 
     # Hybrid permits concurrent distinct enqueues; locking must conflict.

@@ -4,8 +4,11 @@ Runs the actual quorum-consensus system: transactions enqueue and
 dequeue through front-ends; the per-repository logs are then rendered in
 the layout of the paper's schematic, showing the partial replication of
 log entries (each final quorum wrote a majority, not all, of the
-repositories).
+repositories).  The run is traced, and the full span forest is written
+to ``benchmarks/results/traces/`` as a JSONL artifact.
 """
+
+import pathlib
 
 from conftest import report
 
@@ -13,13 +16,16 @@ from repro.atomicity.properties import HybridAtomicity
 from repro.core.report import figure_3_1
 from repro.dependency import known
 from repro.histories.events import Invocation
+from repro.obs import Tracer, to_jsonl
 from repro.replication.cluster import build_cluster
 from repro.spec.legality import LegalityOracle
 from repro.types import Queue
 
+TRACES_DIR = pathlib.Path(__file__).parent / "results" / "traces"
+
 
 def _run_queue_system():
-    cluster = build_cluster(3, seed=17)
+    cluster = build_cluster(3, seed=17, tracer=Tracer())
     queue = Queue(items=("x", "y"))
     relation = known.ground(queue, known.QUEUE_STATIC, 5)
     obj = cluster.add_object("queue", queue, "hybrid", relation=relation)
@@ -56,6 +62,14 @@ def test_fig_3_1_replicated_queue(benchmark):
     checker = HybridAtomicity(obj.datatype, LegalityOracle(obj.datatype))
     assert checker.admits(history)
 
+    spans = cluster.tracer.spans
+    operations = [s for s in spans if s.kind == "operation"]
+    assert len(operations) == 5 and all(s.outcome == "ok" for s in operations)
+    TRACES_DIR.mkdir(parents=True, exist_ok=True)
+    artifact = TRACES_DIR / "fig_3_1_replicated_queue.jsonl"
+    artifact.write_text(to_jsonl(spans) + "\n")
+
     text = figure_3_1(list(cluster.repositories), "queue")
     text += "\n\nper-repository entry counts: " + ", ".join(map(str, counts))
+    text += f"\ntrace: {len(spans)} spans -> results/traces/{artifact.name}"
     report("fig_3_1_replicated_queue", text)

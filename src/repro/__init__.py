@@ -14,7 +14,19 @@ Typical entry points:
   :mod:`repro.dependency`, :mod:`repro.core.theorems`;
 * quorum math: :mod:`repro.quorum`;
 * the running system: :mod:`repro.replication.cluster`,
-  :mod:`repro.sim.workload`.
+  :mod:`repro.sim.workload`;
+* observability (tracing, metrics, profiling): :mod:`repro.obs`.
+
+The running system's principals — :class:`Simulator`, :class:`Network`,
+:class:`Repository`, :class:`FrontEnd`, :class:`TransactionManager` —
+and the observability hooks — :class:`Tracer`, :class:`MetricsRegistry`,
+:class:`KernelProfiler` — are re-exported here, so a traced cluster is
+reachable without deep imports::
+
+    import repro
+
+    tracer = repro.Tracer()
+    cluster = repro.build_cluster(5, seed=0, tracer=tracer)
 """
 
 from repro.histories.events import Event, Invocation, Response, event, ok, signal
@@ -27,8 +39,17 @@ from repro.atomicity.properties import (
     HybridAtomicity,
     StaticAtomicity,
 )
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.profile import KernelProfiler
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
 from repro.quorum.assignment import QuorumAssignment
 from repro.replication.cluster import Cluster, build_cluster
+from repro.replication.frontend import FrontEnd
+from repro.replication.repository import Repository
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import MetricRecorder
+from repro.sim.network import Network
+from repro.txn.manager import TransactionManager
 
 __version__ = "1.0.0"
 
@@ -50,5 +71,18 @@ __all__ = [
     "QuorumAssignment",
     "Cluster",
     "build_cluster",
+    "Simulator",
+    "Network",
+    "Repository",
+    "FrontEnd",
+    "TransactionManager",
+    "MetricRecorder",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Histogram",
+    "MetricsRegistry",
+    "KernelProfiler",
     "__version__",
 ]

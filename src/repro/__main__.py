@@ -1,11 +1,249 @@
-"""``python -m repro`` — print the full reproduction report."""
+"""``python -m repro`` — the reproduction's command-line interface.
 
-from repro.core.paper import paper_report
+Subcommands:
+
+* ``report``  — regenerate the paper's results as a text report (also
+  what running with no arguments prints, for backward compatibility);
+* ``trace``   — run a replicated-queue workload with tracing on and
+  emit the span forest as a tree, JSONL, or Chrome trace JSON;
+* ``metrics`` — run the same workload and print the outcome/latency
+  metrics (fixed-width table or JSON);
+* ``bench``   — time the workload in wall-clock terms, optionally with
+  kernel profiling (per-callback cost, queue depth).
+
+All workload subcommands share ``--seed``, ``--sites``,
+``--transactions``, ``--crashes`` and are deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from time import perf_counter
+
+from repro.obs.export import EXPORTERS, export
+from repro.obs.profile import KernelProfiler
+from repro.obs.trace import Tracer
 
 
-def main() -> None:
-    print(paper_report())
+def _workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--sites", type=int, default=3, help="number of repository sites"
+    )
+    parser.add_argument(
+        "--transactions", type=int, default=12, help="transactions to run"
+    )
+    parser.add_argument(
+        "--crashes",
+        action="store_true",
+        help="inject stochastic site crashes/recoveries (uptime 60, downtime 8)",
+    )
+    parser.add_argument(
+        "--drop-probability",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-message loss probability in [0, 1)",
+    )
+
+
+def _run_workload(
+    args: argparse.Namespace,
+    *,
+    tracer: Tracer | None = None,
+    profiler: KernelProfiler | None = None,
+):
+    """Drive the standard replicated-queue workload; returns (cluster, metrics)."""
+    from repro.dependency import known
+    from repro.replication.cluster import build_cluster
+    from repro.sim.failures import CrashInjector
+    from repro.sim.workload import OperationMix, WorkloadGenerator
+    from repro.types import Queue
+
+    cluster = build_cluster(
+        args.sites,
+        seed=args.seed,
+        drop_probability=args.drop_probability,
+        tracer=tracer,
+        profiler=profiler,
+    )
+    queue = Queue()
+    relation = known.ground(queue, known.QUEUE_STATIC, 5)
+    cluster.add_object("queue", queue, "hybrid", relation=relation)
+    if args.crashes:
+        CrashInjector(cluster.network, 60.0, 8.0).install()
+    mix = OperationMix.uniform("queue", queue.invocations())
+    generator = WorkloadGenerator(
+        cluster.sim,
+        cluster.tm,
+        cluster.frontends,
+        mix,
+        ops_per_transaction=3,
+        concurrency=4,
+    )
+    metrics = generator.run(args.transactions)
+    return cluster, metrics
+
+
+def _emit(text: str, output: str | None) -> None:
+    if output is None or output == "-":
+        print(text)
+    else:
+        try:
+            with open(output, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            raise SystemExit(f"python -m repro: cannot write {output}: {exc}")
+        print(f"wrote {output}", file=sys.stderr)
+
+
+# -- subcommands ------------------------------------------------------------
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.paper import paper_report
+
+    print(paper_report(fast_theorems=args.fast))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    tracer = Tracer()
+    _run_workload(args, tracer=tracer)
+    _emit(export(tracer.spans, args.format), args.output)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    cluster, metrics = _run_workload(args)
+    if args.format == "json":
+        payload = {
+            "operations": metrics.summary(),
+            "registry": metrics.registry.to_dict(),
+            "network": {
+                "messages_sent": cluster.network.messages_sent,
+                "messages_dropped": cluster.network.messages_dropped,
+            },
+        }
+        _emit(json.dumps(payload, indent=2, sort_keys=True), args.output)
+    else:
+        _emit(metrics.table(), args.output)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    profiler = KernelProfiler() if args.profile else None
+    wall_start = perf_counter()
+    cluster, metrics = _run_workload(args, profiler=profiler)
+    elapsed = perf_counter() - wall_start
+    operations = sum(metrics.outcomes.values())
+    lines = [
+        f"{args.transactions} transactions, {operations} operations, "
+        f"{cluster.network.messages_sent} messages "
+        f"over {args.sites} sites (seed {args.seed})",
+        f"wall time: {elapsed:.3f}s "
+        f"({operations / elapsed:,.0f} ops/s, "
+        f"{args.transactions / elapsed:,.0f} txn/s)",
+        f"simulated time: {cluster.sim.now:.1f}",
+        "",
+        metrics.table(),
+    ]
+    if profiler is not None:
+        lines += ["", "kernel profile (wall time per dispatched callback):"]
+        lines.append(profiler.report())
+    _emit("\n".join(lines), args.output)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    report = subparsers.add_parser(
+        "report", help="print the full paper reproduction report"
+    )
+    report.add_argument(
+        "--fast",
+        action="store_true",
+        help="skip the slowest theorem searches",
+    )
+    report.set_defaults(func=_cmd_report)
+
+    trace = subparsers.add_parser(
+        "trace", help="run a traced workload and export its span forest"
+    )
+    _workload_arguments(trace)
+    trace.add_argument(
+        "--format",
+        choices=sorted(EXPORTERS),
+        default="tree",
+        help="trace rendering (default: tree)",
+    )
+    trace.add_argument(
+        "--output", "-o", default=None, help="write to a file instead of stdout"
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="run a workload and print outcome/latency metrics"
+    )
+    _workload_arguments(metrics)
+    metrics.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="metrics rendering (default: table)",
+    )
+    metrics.add_argument(
+        "--output", "-o", default=None, help="write to a file instead of stdout"
+    )
+    metrics.set_defaults(func=_cmd_metrics)
+
+    bench = subparsers.add_parser(
+        "bench", help="time a workload run, optionally with kernel profiling"
+    )
+    _workload_arguments(bench)
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="account wall time per simulator callback",
+    )
+    bench.add_argument(
+        "--output", "-o", default=None, help="write to a file instead of stdout"
+    )
+    bench.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command is None:
+            # Backward compatibility: bare ``python -m repro`` keeps
+            # printing the paper report, exactly as before the
+            # subcommand redesign.
+            from repro.core.paper import paper_report
+
+            print(paper_report())
+            return 0
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like a
+        # well-behaved filter (and keep the interpreter from whining
+        # about an unflushable stdout at shutdown).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

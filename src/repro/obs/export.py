@@ -1,0 +1,155 @@
+"""Trace exporters: JSONL, human-readable tree, and Chrome trace JSON.
+
+Three renderings of the same span forest:
+
+* :func:`to_jsonl` / :func:`parse_jsonl` — one JSON object per line,
+  lossless (round-trips through :meth:`Span.to_dict`), suitable for
+  post-hoc analysis à la k-atomicity trace verification;
+* :func:`render_tree` — an indented tree with simulated timestamps, the
+  thing a human reads to see why an operation went unavailable;
+* :func:`to_chrome_trace` — the Chrome trace-event format, loadable in
+  ``chrome://tracing`` / Perfetto: complete (``"ph": "X"``) events with
+  microsecond ``ts``/``dur``, instant events for point markers, one
+  track (``tid``) per site.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.obs.trace import Span
+
+#: Chrome trace timestamps are integral microseconds; simulated time is
+#: unit-free, so scale it up enough that sub-unit latencies stay visible.
+_CHROME_TIME_SCALE = 1000.0
+
+
+# -- JSONL ------------------------------------------------------------------
+
+
+def to_jsonl(spans: Iterable[Span]) -> str:
+    """One span per line, creation order preserved."""
+    return "\n".join(json.dumps(span.to_dict(), sort_keys=True) for span in spans)
+
+
+def parse_jsonl(text: str) -> list[Span]:
+    """Inverse of :func:`to_jsonl` (blank lines ignored)."""
+    return [
+        Span.from_dict(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
+# -- human-readable tree ----------------------------------------------------
+
+
+def _attr_text(span: Span) -> str:
+    if not span.attrs:
+        return ""
+    parts = []
+    for key in sorted(span.attrs):
+        value = span.attrs[key]
+        if isinstance(value, (list, tuple, set, frozenset)):
+            value = "[" + ",".join(str(v) for v in sorted(value, key=str)) + "]"
+        parts.append(f"{key}={value}")
+    return " " + " ".join(parts)
+
+
+def _span_line(span: Span) -> str:
+    when = (
+        f"[{span.start:.2f}]"
+        if span.kind == "event" or not span.finished
+        else f"[{span.start:.2f} → {span.end:.2f}]"
+    )
+    site = f" @site{span.site}" if span.site is not None else ""
+    return f"{span.name} {when} {span.outcome}{site}{_attr_text(span)}"
+
+
+def walk_forest(spans: Sequence[Span]):
+    """Depth-first (span, depth) pairs; unknown parents become roots."""
+    ids = {span.span_id for span in spans}
+    by_parent: dict[int | None, list[Span]] = {}
+    for span in spans:
+        key = span.parent_id if span.parent_id in ids else None
+        by_parent.setdefault(key, []).append(span)
+
+    def visit(parent_key, depth):
+        for span in by_parent.get(parent_key, ()):
+            yield span, depth
+            yield from visit(span.span_id, depth + 1)
+
+    yield from visit(None, 0)
+
+
+def render_tree(spans: Sequence[Span]) -> str:
+    """The indented span forest with simulated timestamps."""
+    if not spans:
+        return "(no spans recorded)"
+    return "\n".join(
+        "  " * depth + _span_line(span) for span, depth in walk_forest(spans)
+    )
+
+
+# -- Chrome trace format ----------------------------------------------------
+
+
+def to_chrome_trace(spans: Sequence[Span]) -> str:
+    """The span forest as Chrome trace-event JSON.
+
+    Durations use complete events (``ph: "X"``); zero-length point
+    markers become instant events (``ph: "i"``).  ``tid`` is the span's
+    site (-1 for site-less spans such as transactions), so
+    ``chrome://tracing`` lays sites out as separate tracks.
+    """
+    events = []
+    for span in spans:
+        tid = span.site if span.site is not None else -1
+        args = {"outcome": span.outcome, "span_id": span.span_id}
+        for key, value in span.attrs.items():
+            if isinstance(value, (list, tuple, set, frozenset)):
+                value = [str(v) for v in sorted(value, key=str)]
+            args[key] = value
+        base = {
+            "name": span.name,
+            "cat": span.kind,
+            "pid": 0,
+            "tid": tid,
+            "ts": span.start * _CHROME_TIME_SCALE,
+            "args": args,
+        }
+        if span.kind == "event" or not span.finished:
+            events.append({**base, "ph": "i", "s": "t"})
+        else:
+            events.append(
+                {
+                    **base,
+                    "ph": "X",
+                    "dur": max(0.0, span.duration) * _CHROME_TIME_SCALE,
+                }
+            )
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "clock": "simulated"},
+    }
+    return json.dumps(document, indent=2)
+
+
+EXPORTERS = {
+    "jsonl": to_jsonl,
+    "tree": render_tree,
+    "chrome": to_chrome_trace,
+}
+
+
+def export(spans: Sequence[Span], fmt: str) -> str:
+    """Dispatch on format name ('jsonl', 'tree', 'chrome')."""
+    try:
+        exporter = EXPORTERS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace format {fmt!r}; choose from {sorted(EXPORTERS)}"
+        ) from None
+    return exporter(spans)

@@ -1,0 +1,99 @@
+"""Profiling hooks for the simulation kernel.
+
+A :class:`KernelProfiler` plugged into the
+:class:`~repro.sim.kernel.Simulator` accounts, per callback, for wall
+time spent (the real cost of running the simulation) alongside the
+simulated times at which callbacks fire, and samples event-queue depth
+at each dispatch.  This answers "where does a run actually spend its
+time" without touching any of the code being profiled — the kernel
+calls :meth:`record` once per dispatched event, and only when a
+profiler is installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.obs.metrics import Histogram
+
+
+def callback_name(callback: Callable) -> str:
+    """A stable human-readable label for a scheduled callback."""
+    qualname = getattr(callback, "__qualname__", None)
+    if qualname is not None:
+        module = getattr(callback, "__module__", "")
+        short = module.rsplit(".", 1)[-1] if module else ""
+        return f"{short}.{qualname}" if short else qualname
+    return type(callback).__name__
+
+
+@dataclass
+class CallbackStats:
+    """Accumulated cost of one callback identity."""
+
+    name: str
+    calls: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def mean_us(self) -> float:
+        return 1e6 * self.wall_seconds / self.calls if self.calls else float("nan")
+
+
+@dataclass
+class KernelProfiler:
+    """Per-callback wall-time accounting plus queue-depth sampling."""
+
+    stats: dict[str, CallbackStats] = field(default_factory=dict)
+    queue_depth: Histogram = field(
+        default_factory=lambda: Histogram("kernel.queue_depth")
+    )
+    dispatched: int = 0
+
+    def record(
+        self,
+        callback: Callable,
+        wall_seconds: float,
+        queue_depth: int,
+        sim_time: float,
+    ) -> None:
+        """Called by the kernel once per dispatched event."""
+        name = callback_name(callback)
+        entry = self.stats.get(name)
+        if entry is None:
+            entry = self.stats[name] = CallbackStats(name)
+        entry.calls += 1
+        entry.wall_seconds += wall_seconds
+        self.queue_depth.observe(float(queue_depth))
+        self.dispatched += 1
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(entry.wall_seconds for entry in self.stats.values())
+
+    def report(self) -> str:
+        """Fixed-width cost table, most expensive callbacks first."""
+        if not self.stats:
+            return "(no events dispatched under the profiler)"
+        header = (
+            f"{'callback':<48} {'calls':>8} {'wall ms':>10} "
+            f"{'mean µs':>9} {'share':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        total = self.total_wall_seconds or float("nan")
+        ranked = sorted(
+            self.stats.values(), key=lambda s: s.wall_seconds, reverse=True
+        )
+        for entry in ranked:
+            lines.append(
+                f"{entry.name:<48} {entry.calls:>8} "
+                f"{1e3 * entry.wall_seconds:>10.3f} {entry.mean_us:>9.2f} "
+                f"{100 * entry.wall_seconds / total:>6.1f}%"
+            )
+        depth = self.queue_depth.summary()
+        lines.append(
+            f"queue depth: p50={depth['p50']:.0f} p95={depth['p95']:.0f} "
+            f"max={depth['max']:.0f} over {self.dispatched} dispatches"
+        )
+        return "\n".join(lines)

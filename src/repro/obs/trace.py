@@ -1,0 +1,308 @@
+"""Hierarchical span tracing over simulated time.
+
+A :class:`Tracer` records what the replicated system *did* as a tree of
+spans — transaction → operation → quorum phase → per-repository RPC —
+each stamped with simulated start/end times and structured attributes
+(quorum used, view timestamp, conflict kind).  Instrumented layers hold
+a tracer reference and call it unconditionally; the default
+:data:`NULL_TRACER` makes every call a no-op so untraced runs pay
+essentially nothing.
+
+Two usage styles:
+
+* ``with tracer.span("operation", kind="operation", op="Enq") as span:``
+  — a context-managed span.  Nested ``span()`` calls parent themselves
+  under the innermost open span; an exception escaping the block closes
+  the span with an outcome classified from the exception type
+  (``Timeout`` → ``timeout``, ``ConflictError`` → ``conflict``, …).
+* ``span = tracer.start_span(...)`` / ``tracer.end_span(span, outcome)``
+  — a manual span for lifetimes that cross call boundaries, such as a
+  transaction that begins in one call and commits in another.  Manual
+  spans never join the context stack; children name them explicitly via
+  ``parent=``.
+
+Time comes from whatever clock the tracer is bound to (normally the
+simulator, via :meth:`Tracer.bind_clock`), so timestamps are simulated
+time, deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+#: Exception-class-name → span outcome, used when a ``with tracer.span``
+#: block is exited by an exception.  Names (not classes) keep this module
+#: free of imports from the layers it observes.
+_OUTCOME_BY_EXCEPTION = {
+    "Timeout": "timeout",
+    "UnavailableError": "unavailable",
+    "ConflictError": "conflict",
+    "TransactionAborted": "aborted",
+}
+
+
+@dataclass
+class Span:
+    """One timed node in the trace tree."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    #: Coarse role: "transaction", "operation", "quorum", "rpc", "event", ...
+    kind: str
+    start: float
+    end: float | None = None
+    #: Site the span executed at, when it has a natural home site.
+    site: int | None = None
+    outcome: str = "ok"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach attributes (quorum membership, view timestamp, ...)."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "site": self.site,
+            "outcome": self.outcome,
+            "attrs": dict(self.attrs),
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "Span":
+        return Span(
+            span_id=data["span_id"],
+            parent_id=data["parent_id"],
+            name=data["name"],
+            kind=data["kind"],
+            start=data["start"],
+            end=data["end"],
+            site=data["site"],
+            outcome=data["outcome"],
+            attrs=dict(data["attrs"]),
+        )
+
+
+class _CountingClock:
+    """Fallback clock for tracers not bound to a simulator: 0, 1, 2, ..."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def tick(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class _SpanContext:
+    """Context manager pushing one span onto the tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        self._tracer._stack.pop()
+        outcome = "ok"
+        if exc_type is not None:
+            outcome = _OUTCOME_BY_EXCEPTION.get(exc_type.__name__, "error")
+            fatal = getattr(exc, "fatal", None)
+            if fatal is not None:
+                self._span.annotate(conflict_kind="fatal" if fatal else "wait")
+        self._tracer.end_span(self._span, outcome=outcome)
+        return False
+
+
+class Tracer:
+    """Records spans and point events against a simulated clock."""
+
+    #: ``False`` on the null tracer; instrumentation may consult this to
+    #: skip expensive attribute computation when nobody is listening.
+    enabled: bool = True
+
+    def __init__(self, clock: Any | None = None):
+        #: Anything with a ``now`` attribute in simulated time units
+        #: (normally the :class:`~repro.sim.kernel.Simulator`).
+        self._clock = clock if clock is not None else _CountingClock()
+        self._spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    def bind_clock(self, clock: Any) -> None:
+        """Read timestamps from ``clock.now`` from here on."""
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        return self._clock.now
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        *,
+        kind: str = "span",
+        parent: Span | None = None,
+        site: int | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span (manual close via :meth:`end_span`).
+
+        ``parent=None`` parents under the innermost context-managed span,
+        if any; pass an explicit parent to cross call boundaries.
+        """
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            kind=kind,
+            start=self._clock.now,
+            site=site,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        return span
+
+    def end_span(self, span: Span, outcome: str = "ok") -> None:
+        if span.end is None:
+            span.end = self._clock.now
+            span.outcome = outcome
+
+    def span(
+        self,
+        name: str,
+        *,
+        kind: str = "span",
+        parent: Span | None = None,
+        site: int | None = None,
+        **attrs: Any,
+    ) -> _SpanContext:
+        """Context-managed span; joins the implicit parent stack."""
+        return _SpanContext(
+            self, self.start_span(name, kind=kind, parent=parent, site=site, **attrs)
+        )
+
+    def event(self, name: str, *, site: int | None = None, **attrs: Any) -> Span:
+        """A point-in-time marker (crash, recovery, async delivery, ...)."""
+        span = self.start_span(name, kind="event", site=site, **attrs)
+        span.end = span.start
+        return span
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """All spans in creation order (open spans included)."""
+        return tuple(self._spans)
+
+    def finished_spans(self) -> tuple[Span, ...]:
+        return tuple(span for span in self._spans if span.finished)
+
+    def children_of(self, span: Span | None) -> tuple[Span, ...]:
+        parent_id = None if span is None else span.span_id
+        return tuple(s for s in self._spans if s.parent_id == parent_id)
+
+    def roots(self) -> tuple[Span, ...]:
+        """Spans with no recorded parent, in start order."""
+        ids = {span.span_id for span in self._spans}
+        return tuple(
+            span
+            for span in self._spans
+            if span.parent_id is None or span.parent_id not in ids
+        )
+
+    def walk(self) -> Iterator[tuple[Span, int]]:
+        """Depth-first (span, depth) pairs over the whole forest."""
+        by_parent: dict[int | None, list[Span]] = {}
+        ids = {span.span_id for span in self._spans}
+        for span in self._spans:
+            key = span.parent_id if span.parent_id in ids else None
+            by_parent.setdefault(key, []).append(span)
+
+        def visit(parent_key: int | None, depth: int) -> Iterator[tuple[Span, int]]:
+            for span in by_parent.get(parent_key, ()):
+                yield span, depth
+                yield from visit(span.span_id, depth + 1)
+
+        yield from visit(None, 0)
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self._stack.clear()
+
+
+class _NullSpan(Span):
+    """The one span instance NullTracer hands out; swallows annotations."""
+
+    def __init__(self) -> None:
+        super().__init__(span_id=0, parent_id=None, name="", kind="null", start=0.0)
+
+    def annotate(self, **attrs: Any) -> "Span":
+        return self
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing — the zero-overhead default."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ctx = _NullSpanContext()
+
+    def bind_clock(self, clock: Any) -> None:
+        pass
+
+    def start_span(self, name: str, **_kw: Any) -> Span:
+        return NULL_SPAN
+
+    def end_span(self, span: Span, outcome: str = "ok") -> None:
+        pass
+
+    def span(self, name: str, **_kw: Any) -> _NullSpanContext:
+        return self._ctx
+
+    def event(self, name: str, **_kw: Any) -> Span:
+        return NULL_SPAN
+
+
+#: Shared no-op span and tracer instances.
+NULL_SPAN = _NullSpan()
+NULL_TRACER = NullTracer()

@@ -9,13 +9,15 @@ hand.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cc.hybrid import HybridCC
 from repro.cc.locking import DynamicLockingCC
 from repro.cc.static_ts import StaticTimestampCC
 from repro.dependency.relation import DependencyRelation
 from repro.errors import SpecificationError
+from repro.obs.profile import KernelProfiler
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.quorum.assignment import OperationQuorums, QuorumAssignment
 from repro.quorum.coterie import majority
 from repro.replication.frontend import FrontEnd
@@ -37,10 +39,16 @@ class Cluster:
     repositories: tuple[Repository, ...]
     tm: TransactionManager
     frontends: tuple[FrontEnd, ...]
+    #: Shared span sink for every layer (the no-op tracer by default).
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
 
     @property
     def n_sites(self) -> int:
         return len(self.repositories)
+
+    @property
+    def profiler(self) -> KernelProfiler | None:
+        return self.sim.profiler
 
     def add_object(
         self,
@@ -99,6 +107,8 @@ def build_cluster(
     seed: int = 0,
     latency: float = 1.0,
     drop_probability: float = 0.0,
+    tracer: Tracer | None = None,
+    profiler: KernelProfiler | None = None,
 ) -> Cluster:
     """Assemble the full stack over ``n_sites`` repository sites.
 
@@ -106,13 +116,29 @@ def build_cluster(
     default), reflecting the paper's observation that front-ends can be
     replicated to an arbitrary extent so availability is dominated by
     repositories.
+
+    Pass a :class:`~repro.obs.trace.Tracer` to capture span trees
+    (transaction → operation → quorum phase → RPC) over simulated time,
+    and/or a :class:`~repro.obs.profile.KernelProfiler` for per-callback
+    wall-time accounting in the sim kernel; both default to off.
     """
-    sim = Simulator(seed=seed)
-    network = Network(sim, n_sites, latency=latency, drop_probability=drop_probability)
-    repositories = tuple(Repository(site) for site in range(n_sites))
-    tm = TransactionManager()
+    tracer = tracer if tracer is not None else NULL_TRACER
+    sim = Simulator(seed=seed, tracer=tracer, profiler=profiler)
+    tracer.bind_clock(sim)
+    network = Network(
+        sim,
+        n_sites,
+        latency=latency,
+        drop_probability=drop_probability,
+        tracer=tracer,
+    )
+    repositories = tuple(
+        Repository(site, tracer=tracer) for site in range(n_sites)
+    )
+    tm = TransactionManager(tracer=tracer)
     count = n_frontends if n_frontends is not None else n_sites
     frontends = tuple(
-        FrontEnd(site % n_sites, network, repositories, tm) for site in range(count)
+        FrontEnd(site % n_sites, network, repositories, tm, tracer=tracer)
+        for site in range(count)
     )
-    return Cluster(sim, network, repositories, tm, frontends)
+    return Cluster(sim, network, repositories, tm, frontends, tracer=tracer)

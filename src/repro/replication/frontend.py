@@ -21,6 +21,7 @@ from typing import Sequence
 from repro.clocks.lamport import LamportClock
 from repro.errors import TransactionAborted, UnavailableError
 from repro.histories.events import Invocation, Response
+from repro.obs.trace import Tracer
 from repro.quorum.coterie import Coterie
 from repro.replication.log import Log, LogEntry
 from repro.replication.object import ReplicatedObject
@@ -40,12 +41,16 @@ class FrontEnd:
         network: Network,
         repositories: Sequence[Repository],
         tm: TransactionManager,
+        *,
+        tracer: Tracer | None = None,
     ):
         self.site = site
         self.network = network
         self.repositories = tuple(repositories)
         self.tm = tm
         self.clock = LamportClock(site=site)
+        #: Span sink; defaults to the network's (usually null).
+        self.tracer = tracer if tracer is not None else network.tracer
 
     # -- the operation protocol -----------------------------------------------
 
@@ -61,7 +66,25 @@ class FrontEnd:
         :class:`~repro.errors.TransactionAborted` when the final-quorum
         write fails after a response was chosen (the transaction is
         aborted to keep the partially written entry harmless).
+
+        Each call is one ``operation`` span, parented under the
+        transaction's span, with ``quorum`` phase and per-repository
+        ``rpc`` spans nested beneath it.
         """
+        with self.tracer.span(
+            "operation",
+            kind="operation",
+            parent=self.tm.transaction_span(txn.id),
+            site=self.site,
+            op=invocation.op,
+            object=object_name,
+            txn=str(txn.id),
+        ) as span:
+            return self._execute(txn, object_name, invocation, span)
+
+    def _execute(
+        self, txn: Transaction, object_name: str, invocation: Invocation, span
+    ) -> Response:
         obj = self.tm.object(object_name)
         initial = obj.assignment.initial(invocation)
         merged, base = self._read_quorum(obj, initial, invocation.op)
@@ -71,6 +94,11 @@ class FrontEnd:
         latest = view.max_timestamp()
         if latest is not None:
             self.clock.witness(latest)
+        if self.tracer.enabled:
+            span.annotate(
+                view_ts=None if latest is None else str(latest),
+                view_entries=len(merged),
+            )
 
         event = obj.cc.choose_event(view, txn, invocation, obj.sync)
 
@@ -86,6 +114,8 @@ class FrontEnd:
         obj.cc.on_executed(txn, event, obj.sync)
         txn.touched.add(object_name)
         obj.recorder.record_op(txn, event)
+        if self.tracer.enabled:
+            span.annotate(entry_ts=str(entry.ts), response=str(event.res))
         return event.res
 
     # -- quorum assembly ---------------------------------------------------------
@@ -105,56 +135,78 @@ class FrontEnd:
         snapshot are filtered out (a lagging repository may still hold
         them).
         """
-        responders: set[int] = set()
-        merged = Log()
-        best = None
-        if coterie.has_quorum(frozenset()):
-            return merged, None
-        for site in self._site_order():
-            try:
-                fragment, snapshot = self.network.request(
-                    self.site,
-                    site,
-                    lambda s=site: (
-                        self.repositories[s].read_log(obj.name),
-                        self.repositories[s].read_snapshot(obj.name),
-                    ),
-                )
-            except Timeout:
-                continue
-            merged = merged.merge(fragment)
-            if snapshot is not None and snapshot.subsumes(best):
-                best = snapshot
-            responders.add(site)
-            if coterie.has_quorum(frozenset(responders)):
-                if best is not None:
-                    merged = Log(
-                        entry
-                        for entry in merged
-                        if entry.action not in best.dropped
+        with self.tracer.span(
+            "quorum.initial",
+            kind="quorum",
+            site=self.site,
+            phase="initial",
+            op=op_name,
+        ) as span:
+            responders: set[int] = set()
+            merged = Log()
+            best = None
+            if coterie.has_quorum(frozenset()):
+                span.annotate(quorum=())
+                return merged, None
+            for site in self._site_order():
+                try:
+                    fragment, snapshot = self.network.request(
+                        self.site,
+                        site,
+                        lambda s=site: (
+                            self.repositories[s].read_log(obj.name),
+                            self.repositories[s].read_snapshot(obj.name),
+                        ),
                     )
-                return merged, best
-        missing = frozenset(range(len(self.repositories))) - responders
-        raise UnavailableError(op_name, missing)
+                except Timeout:
+                    continue
+                merged = merged.merge(fragment)
+                if snapshot is not None and snapshot.subsumes(best):
+                    best = snapshot
+                responders.add(site)
+                if coterie.has_quorum(frozenset(responders)):
+                    if best is not None:
+                        merged = Log(
+                            entry
+                            for entry in merged
+                            if entry.action not in best.dropped
+                        )
+                    span.annotate(quorum=sorted(responders))
+                    return merged, best
+            missing = frozenset(range(len(self.repositories))) - responders
+            span.annotate(responders=sorted(responders), missing=sorted(missing))
+            raise UnavailableError(op_name, missing)
 
     def _write_quorum(
         self, obj: ReplicatedObject, coterie: Coterie, update: Log, op_name: str
     ) -> None:
         """Write the updated view until a final quorum acknowledges."""
-        acks: set[int] = set()
-        if coterie.has_quorum(frozenset()):
-            return
-        for site in self._site_order():
-            try:
-                self.network.request(
-                    self.site,
-                    site,
-                    lambda s=site: self.repositories[s].write_log(obj.name, update),
-                )
-            except Timeout:
-                continue
-            acks.add(site)
-            if coterie.has_quorum(frozenset(acks)):
+        with self.tracer.span(
+            "quorum.final",
+            kind="quorum",
+            site=self.site,
+            phase="final",
+            op=op_name,
+        ) as span:
+            acks: set[int] = set()
+            if coterie.has_quorum(frozenset()):
+                span.annotate(quorum=())
                 return
-        missing = frozenset(range(len(self.repositories))) - acks
-        raise UnavailableError(op_name, missing)
+            for site in self._site_order():
+                try:
+                    self.network.request(
+                        self.site,
+                        site,
+                        lambda s=site: self.repositories[s].write_log(
+                            obj.name, update
+                        ),
+                    )
+                except Timeout:
+                    continue
+                acks.add(site)
+                if coterie.has_quorum(frozenset(acks)):
+                    span.annotate(quorum=sorted(acks))
+                    return
+            missing = frozenset(range(len(self.repositories))) - acks
+            span.annotate(responders=sorted(acks), missing=sorted(missing))
+            raise UnavailableError(op_name, missing)

@@ -11,24 +11,31 @@ quorum, because writes carry whole updated views).
 
 from __future__ import annotations
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.replication.log import Log, LogEntry
 
 
 class Repository:
     """Stable per-site log storage, addressed through the network fabric."""
 
-    def __init__(self, site: int):
+    def __init__(self, site: int, *, tracer: Tracer | None = None):
         self.site = site
         self._logs: dict[str, Log] = {}
         #: Compacted prefixes, per object (see repro.replication.snapshot).
         self._snapshots: dict[str, object] = {}
         self.reads_served = 0
         self.writes_served = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def read_log(self, object_name: str) -> Log:
         """Serve this repository's fragment of an object's log."""
         self.reads_served += 1
-        return self._logs.get(object_name, Log())
+        log = self._logs.get(object_name, Log())
+        if self.tracer.enabled:
+            self.tracer.event(
+                "repo.read", site=self.site, object=object_name, entries=len(log)
+            )
+        return log
 
     def write_log(self, object_name: str, update: Log) -> None:
         """Merge a view written by a front-end into stable storage.
@@ -37,6 +44,13 @@ class Repository:
         re-admitted (a stale writer may ship them back).
         """
         self.writes_served += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "repo.write",
+                site=self.site,
+                object=object_name,
+                entries=len(update),
+            )
         snapshot = self._snapshots.get(object_name)
         if snapshot is not None:
             update = Log(

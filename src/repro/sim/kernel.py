@@ -6,6 +6,12 @@ monotonically increasing sequence number breaking ties so that two
 events at the same instant always run in scheduling order.  All
 randomness flows through the kernel's seeded :class:`random.Random`, so
 a run is a pure function of its seed and configuration.
+
+Observability: an optional :class:`~repro.obs.profile.KernelProfiler`
+accounts wall time per dispatched callback and samples queue depth, and
+an optional :class:`~repro.obs.trace.Tracer` receives a ``sim.run``
+event per productive dispatch batch.  Both default to off and cost one
+``is None`` check per event when off.
 """
 
 from __future__ import annotations
@@ -13,9 +19,14 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import SimulationError
+from repro.obs.trace import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profile import KernelProfiler
 
 
 @dataclass(order=True)
@@ -29,13 +40,23 @@ class _Scheduled:
 class Simulator:
     """A deterministic event-driven clock."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        tracer: Tracer | None = None,
+        profiler: "KernelProfiler | None" = None,
+    ):
         self._queue: list[_Scheduled] = []
         self._seq = 0
         self.now = 0.0
         #: The single source of randomness for the whole simulation.
         self.rng = random.Random(seed)
         self._running = False
+        #: Span/event sink for the layers running on this clock.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Per-callback wall-time accounting; ``None`` disables profiling.
+        self.profiler = profiler
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> _Scheduled:
         """Run ``callback`` at ``now + delay``; returns a cancellable handle."""
@@ -71,6 +92,7 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         dispatched = 0
+        profiler = self.profiler
         try:
             while self._queue:
                 if max_events is not None and dispatched >= max_events:
@@ -83,12 +105,24 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 self.now = max(self.now, event.time)
-                event.callback()
+                if profiler is not None:
+                    wall_start = perf_counter()
+                    event.callback()
+                    profiler.record(
+                        event.callback,
+                        perf_counter() - wall_start,
+                        len(self._queue),
+                        self.now,
+                    )
+                else:
+                    event.callback()
                 dispatched += 1
             if until is not None:
                 self.now = max(self.now, until)
         finally:
             self._running = False
+        if dispatched and self.tracer.enabled:
+            self.tracer.event("sim.run", dispatched=dispatched)
         return dispatched
 
     def drain(self) -> int:

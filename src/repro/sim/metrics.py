@@ -3,25 +3,33 @@
 A :class:`MetricRecorder` accumulates per-operation counters —
 successes, unavailability (no quorum), concurrency-control conflicts,
 aborts — plus latency samples, and renders summary tables the benchmarks
-print.  Counters are plain dictionaries so benchmarks can post-process
-them freely.
+print.
+
+This module is now a thin compatibility shim over
+:mod:`repro.obs.metrics`: outcome counts and latency distributions live
+in a :class:`~repro.obs.metrics.MetricsRegistry` (counters named
+``ops.<operation>.<outcome>``, histograms named
+``latency.<operation>``), and latency summaries report p50/p95/p99
+rather than a bare mean — a mean hides exactly the timeout tails the
+availability experiments are about.  The original dict-shaped API
+(``outcomes``, ``latencies``, ``attempts`` …) is preserved for the
+benchmarks that post-process it.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, field
-from statistics import mean
+
+from repro.obs.metrics import Histogram, MetricsRegistry
 
 
 @dataclass
 class MetricRecorder:
     """Accumulates outcome counters keyed by (operation, outcome)."""
 
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     outcomes: Counter = field(default_factory=Counter)
-    latencies: dict[str, list[float]] = field(
-        default_factory=lambda: defaultdict(list)
-    )
     committed_transactions: int = 0
     aborted_transactions: int = 0
 
@@ -31,14 +39,17 @@ class MetricRecorder:
         if outcome not in self.OUTCOMES:
             raise ValueError(f"unknown outcome {outcome!r}")
         self.outcomes[(operation, outcome)] += 1
+        self.registry.counter(f"ops.{operation}.{outcome}").inc()
         if latency is not None:
-            self.latencies[operation].append(latency)
+            self.registry.histogram(f"latency.{operation}").observe(latency)
 
     def record_commit(self) -> None:
         self.committed_transactions += 1
+        self.registry.counter("txn.committed").inc()
 
     def record_abort(self) -> None:
         self.aborted_transactions += 1
+        self.registry.counter("txn.aborted").inc()
 
     # -- derived figures -----------------------------------------------------
 
@@ -81,23 +92,84 @@ class MetricRecorder:
     def operations(self) -> tuple[str, ...]:
         return tuple(sorted({op for op, _outcome in self.outcomes}))
 
+    # -- latency distributions ----------------------------------------------
+
+    @property
+    def latencies(self) -> dict[str, list[float]]:
+        """Raw latency samples per operation (compatibility view)."""
+        prefix = "latency."
+        return {
+            name[len(prefix):]: list(hist.samples)
+            for name, hist in self.registry.histograms.items()
+            if name.startswith(prefix)
+        }
+
+    def latency_histogram(self, operation: str) -> Histogram:
+        return self.registry.histogram(f"latency.{operation}")
+
     def mean_latency(self, operation: str) -> float:
-        samples = self.latencies.get(operation, [])
-        return mean(samples) if samples else float("nan")
+        return self.latency_histogram(operation).mean
+
+    def latency_summary(self, operation: str) -> dict[str, float]:
+        """count/mean/p50/p95/p99/max of the operation's latency samples."""
+        return self.latency_histogram(operation).summary()
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-operation rates plus percentile latency aggregation.
+
+        Latency is reported as p50/p95/p99 (and max), not a bare mean:
+        quorum probes that ride through crashes and partitions produce
+        heavy timeout tails that a mean averages away.
+        """
+        result: dict[str, dict[str, float]] = {}
+        for op in self.operations():
+            entry: dict[str, float] = {
+                "attempts": float(self.attempts(op)),
+                "availability": self.availability(op),
+                "success_rate": self.success_rate(op),
+                "conflict_rate": self.conflict_rate(op),
+            }
+            hist = self.latency_histogram(op)
+            if hist.count:
+                entry.update(
+                    {
+                        "latency_p50": hist.p50,
+                        "latency_p95": hist.p95,
+                        "latency_p99": hist.p99,
+                        "latency_max": hist.max,
+                    }
+                )
+            result[op] = entry
+        return result
 
     def table(self) -> str:
-        """A fixed-width summary table, one row per operation."""
+        """A fixed-width summary table, one row per operation.
+
+        Latency columns (p50/p95/p99, simulated time units) appear when
+        any operation recorded samples.
+        """
+        with_latency = any(
+            hist.count
+            for name, hist in self.registry.histograms.items()
+            if name.startswith("latency.")
+        )
         header = (
             f"{'operation':<12} {'attempts':>8} {'ok':>8} {'unavail':>8} "
             f"{'conflict':>8} {'avail%':>8} {'ok%':>8}"
         )
+        if with_latency:
+            header += f" {'p50':>8} {'p95':>8} {'p99':>8}"
         rows = [header, "-" * len(header)]
         for op in self.operations():
-            rows.append(
+            row = (
                 f"{op:<12} {self.attempts(op):>8} {self.count(op, 'ok'):>8} "
                 f"{self.count(op, 'unavailable'):>8} {self.count(op, 'conflict'):>8} "
                 f"{100 * self.availability(op):>7.2f}% {100 * self.success_rate(op):>7.2f}%"
             )
+            if with_latency:
+                hist = self.latency_histogram(op)
+                row += f" {hist.p50:>8.2f} {hist.p95:>8.2f} {hist.p99:>8.2f}"
+            rows.append(row)
         if self.committed_transactions or self.aborted_transactions:
             rows.append(
                 f"transactions: {self.committed_transactions} committed, "

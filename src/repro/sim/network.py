@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.kernel import Simulator
 
 
@@ -43,6 +44,8 @@ class Network:
         n_sites: int,
         latency: float = 1.0,
         drop_probability: float = 0.0,
+        *,
+        tracer: Tracer | None = None,
     ):
         if n_sites <= 0:
             raise SimulationError("network needs at least one site")
@@ -52,6 +55,8 @@ class Network:
         self.n_sites = n_sites
         self.latency = latency
         self.drop_probability = drop_probability
+        #: Span/event sink; defaults to the simulator's (usually null).
+        self.tracer = tracer if tracer is not None else sim.tracer
         self._crashed: set[int] = set()
         #: Partition groups: a list of disjoint site sets.  Sites in no
         #: group are mutually reachable (the default, un-partitioned state).
@@ -64,10 +69,14 @@ class Network:
     def crash(self, site: int) -> None:
         self._check_site(site)
         self._crashed.add(site)
+        if self.tracer.enabled:
+            self.tracer.event("site.crash", site=site)
 
     def recover(self, site: int) -> None:
         self._check_site(site)
         self._crashed.discard(site)
+        if self.tracer.enabled:
+            self.tracer.event("site.recover", site=site)
 
     def is_up(self, site: int) -> bool:
         self._check_site(site)
@@ -95,10 +104,16 @@ class Network:
         if rest:
             sets.append(rest)
         self._groups = sets
+        if self.tracer.enabled:
+            self.tracer.event(
+                "net.partition", groups=[sorted(group) for group in sets]
+            )
 
     def heal(self) -> None:
         """Remove all partitions (crashed sites stay crashed)."""
         self._groups = []
+        if self.tracer.enabled:
+            self.tracer.event("net.heal")
 
     def reachable(self, src: int, dst: int) -> bool:
         """Can a message flow from ``src`` to ``dst`` right now?"""
@@ -117,28 +132,35 @@ class Network:
 
         Charges two message latencies; raises :class:`Timeout` when the
         destination is unreachable or either direction loses the message.
+        Each round trip is one ``rpc`` span (homed at the destination
+        repository) when tracing is on.
         """
-        self.messages_sent += 1
-        self.sim.advance(self.latency)
-        self.sim.drain()  # apply failures due while the message travelled
-        if not self.reachable(src, dst) or self._lost():
-            self.messages_dropped += 1
-            raise Timeout(dst)
-        result = handler()
-        self.messages_sent += 1
-        self.sim.advance(self.latency)
-        self.sim.drain()
-        if not self.reachable(dst, src) or self._lost():
-            self.messages_dropped += 1
-            raise Timeout(dst)
-        return result
+        with self.tracer.span("rpc", kind="rpc", site=dst, src=src, dst=dst):
+            self.messages_sent += 1
+            self.sim.advance(self.latency)
+            self.sim.drain()  # apply failures due while the message travelled
+            if not self.reachable(src, dst) or self._lost():
+                self.messages_dropped += 1
+                raise Timeout(dst)
+            result = handler()
+            self.messages_sent += 1
+            self.sim.advance(self.latency)
+            self.sim.drain()
+            if not self.reachable(dst, src) or self._lost():
+                self.messages_dropped += 1
+                raise Timeout(dst)
+            return result
 
     def send(self, src: int, dst: int, deliver: Callable[[], None]) -> None:
         """Asynchronous one-way message through the event queue."""
         self.messages_sent += 1
         if not self.reachable(src, dst) or self._lost():
             self.messages_dropped += 1
+            if self.tracer.enabled:
+                self.tracer.event("msg.dropped", site=src, dst=dst)
             return
+        if self.tracer.enabled:
+            self.tracer.event("msg.send", site=src, dst=dst)
         delay = self.latency
         self.sim.schedule(delay, self._guarded(dst, deliver))
 

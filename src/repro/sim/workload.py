@@ -171,10 +171,16 @@ class WorkloadGenerator:
         if script.done:
             return self._commit(script)
         object_name, invocation = script.operations[script.index]
+        # Simulated time spent inside the operation (quorum probes charge
+        # latency even when they time out, so failures land in the
+        # histogram tail rather than vanishing from it).
+        started_at = self.sim.now
         try:
             script.frontend.execute(script.txn, object_name, invocation)
         except UnavailableError:
-            self.metrics.record(invocation.op, "unavailable")
+            self.metrics.record(
+                invocation.op, "unavailable", latency=self.sim.now - started_at
+            )
             self._abort(script, "no initial quorum")
             return True
         except TransactionAborted as aborted:
@@ -182,18 +188,22 @@ class WorkloadGenerator:
             # concurrency-control abort; classify by the underlying cause.
             quorum_failure = isinstance(aborted.__cause__, UnavailableError)
             self.metrics.record(
-                invocation.op, "unavailable" if quorum_failure else "aborted"
+                invocation.op,
+                "unavailable" if quorum_failure else "aborted",
+                latency=self.sim.now - started_at,
             )
             self.metrics.record_abort()
             self.waits.remove(script.txn.id)
             return True
         except ConflictError as conflict:
-            self.metrics.record(invocation.op, "conflict")
+            self.metrics.record(
+                invocation.op, "conflict", latency=self.sim.now - started_at
+            )
             if conflict.fatal or script.retries_left <= 0:
                 self._abort(script, str(conflict))
                 return True
             return self._resolve_conflict(script, conflict)
-        self.metrics.record(invocation.op, "ok")
+        self.metrics.record(invocation.op, "ok", latency=self.sim.now - started_at)
         script.index += 1
         return script.done and self._commit(script)
 

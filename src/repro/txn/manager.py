@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Iterable
 from repro.clocks.lamport import LamportClock
 from repro.clocks.timestamps import Timestamp
 from repro.errors import ConflictError, TransactionAborted, TransactionError
+from repro.obs.trace import NULL_TRACER, Span, Tracer
 from repro.txn.ids import ActionId, Transaction, TxnStatus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -33,13 +34,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 class TransactionManager:
     """Begin, execute-time status, and atomic commitment."""
 
-    def __init__(self, clock: LamportClock | None = None):
+    def __init__(
+        self, clock: LamportClock | None = None, *, tracer: Tracer | None = None
+    ):
         self.clock = clock or LamportClock(site=-1)
         self._txns: dict[ActionId, Transaction] = {}
         self._objects: dict[str, "ReplicatedObject"] = {}
         self._seq = 0
         self.commits = 0
         self.aborts = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Open ``transaction`` spans, one per active traced transaction.
+        self._txn_spans: dict[ActionId, Span] = {}
 
     # -- object registry ---------------------------------------------------
 
@@ -69,7 +75,19 @@ class TransactionManager:
             begin_ts=self.clock.tick(),
         )
         self._txns[txn.id] = txn
+        if self.tracer.enabled:
+            self._txn_spans[txn.id] = self.tracer.start_span(
+                "transaction",
+                kind="transaction",
+                site=site,
+                txn=str(txn.id),
+                begin_ts=str(txn.begin_ts),
+            )
         return txn
+
+    def transaction_span(self, action: ActionId) -> Span | None:
+        """The open trace span for ``action`` (None when untraced/closed)."""
+        return self._txn_spans.get(action)
 
     def commit(self, txn: Transaction) -> None:
         """Two-phase commit across every touched object.
@@ -94,6 +112,10 @@ class TransactionManager:
             obj.sync.finalize_commit(txn)
             obj.cc.on_finalize(txn, obj.sync)
             obj.recorder.record_commit(txn)
+        span = self._txn_spans.pop(txn.id, None)
+        if span is not None:
+            span.annotate(commit_ts=str(txn.commit_ts), objects=sorted(txn.touched))
+            self.tracer.end_span(span, outcome="committed")
 
     def abort(self, txn: Transaction, reason: str = "client abort") -> None:
         """Abort: undo is implicit — aborted entries are ignored by views."""
@@ -106,6 +128,10 @@ class TransactionManager:
             obj.sync.finalize_abort(txn)
             obj.cc.on_finalize(txn, obj.sync)
             obj.recorder.record_abort(txn)
+        span = self._txn_spans.pop(txn.id, None)
+        if span is not None:
+            span.annotate(reason=reason, objects=sorted(txn.touched))
+            self.tracer.end_span(span, outcome="aborted")
 
     def _require_active(self, txn: Transaction) -> None:
         if not txn.is_active:

@@ -1,0 +1,122 @@
+"""Smoke tests for the ``python -m repro`` subcommand CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.__main__ as cli
+
+pytestmark = pytest.mark.obs
+
+WORKLOAD = ["--seed", "0", "--sites", "3", "--transactions", "4"]
+
+
+def run_cli(argv, capsys):
+    code = cli.main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestTrace:
+    def test_tree_shows_full_nesting(self, capsys):
+        code, out = run_cli(
+            ["trace", "--seed", "0", "--sites", "5", "--format", "tree"], capsys
+        )
+        assert code == 0
+        assert "transaction " in out
+        assert "  operation " in out
+        assert "    quorum." in out
+        assert "      rpc " in out
+
+    def test_chrome_format_is_loadable_json(self, capsys):
+        code, out = run_cli(["trace", *WORKLOAD, "--format", "chrome"], capsys)
+        assert code == 0
+        document = json.loads(out)
+        assert document["traceEvents"]
+        assert all("ph" in e and "ts" in e for e in document["traceEvents"])
+
+    def test_jsonl_output_file(self, capsys, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        code, _out = run_cli(
+            ["trace", *WORKLOAD, "--format", "jsonl", "-o", str(target)], capsys
+        )
+        assert code == 0
+        lines = target.read_text().strip().splitlines()
+        assert lines and all(json.loads(line)["name"] for line in lines)
+
+    def test_deterministic_per_seed(self, capsys):
+        _code, first = run_cli(["trace", *WORKLOAD, "--format", "jsonl"], capsys)
+        _code, second = run_cli(["trace", *WORKLOAD, "--format", "jsonl"], capsys)
+        assert first == second
+
+
+class TestMetrics:
+    def test_table_has_percentile_columns(self, capsys):
+        code, out = run_cli(["metrics", *WORKLOAD], capsys)
+        assert code == 0
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "commit rate" in out
+
+    def test_json_format(self, capsys):
+        code, out = run_cli(["metrics", *WORKLOAD, "--format", "json"], capsys)
+        assert code == 0
+        payload = json.loads(out)
+        assert set(payload) == {"operations", "registry", "network"}
+        for op_stats in payload["operations"].values():
+            assert "availability" in op_stats
+
+    def test_crashes_flag_degrades_availability(self, capsys):
+        code, out = run_cli(
+            ["metrics", "--seed", "2", "--sites", "3", "--transactions", "20",
+             "--crashes", "--format", "json"],
+            capsys,
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert any(
+            stats["availability"] < 1.0
+            for stats in payload["operations"].values()
+        )
+
+
+class TestBench:
+    def test_reports_throughput_and_profile(self, capsys):
+        code, out = run_cli(["bench", *WORKLOAD, "--crashes", "--profile"], capsys)
+        assert code == 0
+        assert "wall time" in out
+        assert "ops/s" in out
+        assert "kernel profile" in out
+        assert "queue depth" in out
+
+
+class TestReportCompatibility:
+    def test_no_args_prints_paper_report(self, capsys, monkeypatch):
+        import repro.core.paper
+
+        monkeypatch.setattr(
+            repro.core.paper, "paper_report", lambda **kw: "PAPER REPORT STUB"
+        )
+        code, out = run_cli([], capsys)
+        assert code == 0
+        assert "PAPER REPORT STUB" in out
+
+    def test_report_subcommand_forwards_fast_flag(self, capsys, monkeypatch):
+        import repro.core.paper
+
+        captured_kwargs = {}
+
+        def fake_report(**kwargs):
+            captured_kwargs.update(kwargs)
+            return "FAST STUB"
+
+        monkeypatch.setattr(repro.core.paper, "paper_report", fake_report)
+        code, out = run_cli(["report", "--fast"], capsys)
+        assert code == 0
+        assert "FAST STUB" in out
+        assert captured_kwargs == {"fast_theorems": True}
+
+    def test_unknown_subcommand_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["explode"])

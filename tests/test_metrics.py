@@ -52,6 +52,51 @@ class TestMetricRecorder:
         metrics.record("Enq", "ok", latency=4.0)
         assert metrics.mean_latency("Enq") == pytest.approx(3.0)
 
+    def test_latencies_compatibility_view(self):
+        metrics = MetricRecorder()
+        metrics.record("Enq", "ok", latency=2.0)
+        metrics.record("Deq", "ok", latency=5.0)
+        assert metrics.latencies == {"Enq": [2.0], "Deq": [5.0]}
+
+    def test_summary_reports_percentiles_not_bare_mean(self):
+        metrics = MetricRecorder()
+        # 98 fast operations and two timeout-tail stragglers: the mean
+        # (~2.5) would hide what p99 exposes.
+        for _ in range(98):
+            metrics.record("Enq", "ok", latency=1.0)
+        metrics.record("Enq", "ok", latency=50.0)
+        metrics.record("Enq", "unavailable", latency=100.0)
+        summary = metrics.summary()["Enq"]
+        assert summary["latency_p50"] == pytest.approx(1.0)
+        assert summary["latency_p95"] == pytest.approx(1.0)
+        assert summary["latency_p99"] > 40.0
+        assert summary["latency_max"] == pytest.approx(100.0)
+        assert summary["attempts"] == 100.0
+
+    def test_summary_without_latency_samples(self):
+        metrics = MetricRecorder()
+        metrics.record("Enq", "ok")
+        summary = metrics.summary()["Enq"]
+        assert "latency_p50" not in summary
+        assert summary["success_rate"] == pytest.approx(1.0)
+
+    def test_registry_backs_the_recorder(self):
+        metrics = MetricRecorder()
+        metrics.record("Enq", "ok", latency=2.0)
+        metrics.record("Enq", "conflict")
+        metrics.record_commit()
+        registry = metrics.registry
+        assert registry.counters["ops.Enq.ok"].value == 1
+        assert registry.counters["ops.Enq.conflict"].value == 1
+        assert registry.counters["txn.committed"].value == 1
+        assert registry.histograms["latency.Enq"].count == 1
+
+    def test_table_includes_percentiles_when_sampled(self):
+        metrics = MetricRecorder()
+        metrics.record("Enq", "ok", latency=2.0)
+        text = metrics.table()
+        assert "p50" in text and "p99" in text
+
     def test_table_renders_all_operations(self):
         metrics = MetricRecorder()
         metrics.record("Enq", "ok")

@@ -1,0 +1,282 @@
+"""The observability layer: spans, metrics, profiling, exporters.
+
+The span-tree tests drive the *real* replicated system (a traced
+cluster running a seeded workload) and assert structural invariants of
+whatever trace comes out — well-nested intervals, per-site monotone
+timestamps, the transaction → operation → quorum → rpc hierarchy —
+rather than golden outputs, so they hold for any seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dependency import known
+from repro.histories.events import Invocation
+from repro.obs import (
+    Histogram,
+    KernelProfiler,
+    MetricsRegistry,
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    parse_jsonl,
+    percentile,
+    render_tree,
+    to_chrome_trace,
+    to_jsonl,
+)
+from repro.replication.cluster import build_cluster
+from repro.sim.failures import CrashInjector
+from repro.sim.kernel import Simulator
+from repro.sim.workload import OperationMix, WorkloadGenerator
+from repro.types import Queue
+
+pytestmark = pytest.mark.obs
+
+
+def traced_run(seed=3, sites=3, transactions=10, crashes=False):
+    """Run the standard queue workload with tracing on."""
+    tracer = Tracer()
+    cluster = build_cluster(sites, seed=seed, tracer=tracer)
+    queue = Queue()
+    relation = known.ground(queue, known.QUEUE_STATIC, 5)
+    cluster.add_object("queue", queue, "hybrid", relation=relation)
+    if crashes:
+        CrashInjector(cluster.network, 50.0, 10.0).install()
+    mix = OperationMix.uniform("queue", queue.invocations())
+    generator = WorkloadGenerator(
+        cluster.sim,
+        cluster.tm,
+        cluster.frontends,
+        mix,
+        ops_per_transaction=2,
+        concurrency=3,
+    )
+    metrics = generator.run(transactions)
+    return tracer, cluster, metrics
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return traced_run()
+
+
+@pytest.fixture(scope="module")
+def traced_with_failures():
+    return traced_run(seed=7, sites=5, transactions=25, crashes=True)
+
+
+class TestSpanTree:
+    def test_hierarchy_kinds_nest_correctly(self, traced):
+        tracer, _cluster, _metrics = traced
+        by_id = {span.span_id: span for span in tracer.spans}
+        expected_parent_kind = {
+            "operation": "transaction",
+            "quorum": "operation",
+            "rpc": "quorum",
+        }
+        seen = set()
+        for span in tracer.spans:
+            want = expected_parent_kind.get(span.kind)
+            if want is None:
+                continue
+            assert span.parent_id is not None, f"{span.name} has no parent"
+            assert by_id[span.parent_id].kind == want
+            seen.add(span.kind)
+        assert seen == {"operation", "quorum", "rpc"}
+
+    def test_children_within_parent_interval(self, traced):
+        tracer, _cluster, _metrics = traced
+        by_id = {span.span_id: span for span in tracer.spans}
+        for span in tracer.finished_spans():
+            if span.parent_id is None:
+                continue
+            parent = by_id[span.parent_id]
+            assert parent.start <= span.start
+            assert parent.end is None or span.end <= parent.end
+
+    def test_all_spans_closed_and_ordered(self, traced):
+        tracer, _cluster, _metrics = traced
+        assert tracer.spans
+        for span in tracer.spans:
+            assert span.finished, f"span {span.name} left open"
+            assert span.end >= span.start
+
+    def test_timestamps_monotone_per_site(self, traced):
+        tracer, _cluster, _metrics = traced
+        last_start: dict[int, float] = {}
+        for span in tracer.spans:  # creation order
+            if span.site is None:
+                continue
+            assert span.start >= last_start.get(span.site, 0.0)
+            last_start[span.site] = span.start
+
+    def test_operation_spans_carry_protocol_attributes(self, traced):
+        tracer, _cluster, _metrics = traced
+        ok_ops = [
+            s for s in tracer.spans if s.kind == "operation" and s.outcome == "ok"
+        ]
+        assert ok_ops
+        for span in ok_ops:
+            assert span.attrs["op"] in ("Enq", "Deq")
+            assert span.attrs["object"] == "queue"
+            assert "entry_ts" in span.attrs
+        quorums = [s for s in tracer.spans if s.kind == "quorum" and s.outcome == "ok"]
+        assert quorums and all("quorum" in s.attrs for s in quorums)
+
+    def test_transaction_outcomes_match_manager_counts(self, traced):
+        tracer, cluster, _metrics = traced
+        txns = [s for s in tracer.spans if s.kind == "transaction"]
+        committed = sum(1 for s in txns if s.outcome == "committed")
+        aborted = sum(1 for s in txns if s.outcome == "aborted")
+        assert committed == cluster.tm.commits
+        assert aborted == cluster.tm.aborts
+
+    def test_failures_produce_timeout_and_crash_records(self, traced_with_failures):
+        tracer, _cluster, metrics = traced_with_failures
+        names = {span.name for span in tracer.spans}
+        assert "site.crash" in names
+        rpc_outcomes = {s.outcome for s in tracer.spans if s.kind == "rpc"}
+        assert "timeout" in rpc_outcomes
+        # Unavailability shows up as quorum spans that name the missing sites.
+        unavailable = [
+            s
+            for s in tracer.spans
+            if s.kind == "quorum" and s.outcome == "unavailable"
+        ]
+        if metrics.count("Enq", "unavailable") or metrics.count("Deq", "unavailable"):
+            assert unavailable and all("missing" in s.attrs for s in unavailable)
+
+
+class TestNullTracer:
+    def test_records_nothing_and_returns_null_span(self):
+        with NULL_TRACER.span("operation", op="Enq") as span:
+            assert span is NULL_SPAN
+            span.annotate(anything="goes")
+        assert NULL_TRACER.event("site.crash", site=1) is NULL_SPAN
+        assert NULL_TRACER.spans == ()
+        assert NULL_SPAN.attrs == {}
+
+    def test_default_cluster_is_untraced(self):
+        cluster = build_cluster(3, seed=0)
+        assert cluster.tracer is NULL_TRACER
+        queue = Queue()
+        relation = known.ground(queue, known.QUEUE_STATIC, 5)
+        cluster.add_object("queue", queue, "hybrid", relation=relation)
+        txn = cluster.tm.begin(0)
+        cluster.frontends[0].execute(txn, "queue", Invocation("Enq", ("x",)))
+        cluster.tm.commit(txn)
+        assert cluster.tracer.spans == ()
+        assert cluster.tm.transaction_span(txn.id) is None
+
+
+class TestExporters:
+    def test_jsonl_round_trip(self, traced):
+        tracer, _cluster, _metrics = traced
+        recovered = parse_jsonl(to_jsonl(tracer.spans))
+        assert len(recovered) == len(tracer.spans)
+        assert [s.to_dict() for s in recovered] == [
+            s.to_dict() for s in tracer.spans
+        ]
+
+    def test_tree_rendering_indents_children(self, traced):
+        tracer, _cluster, _metrics = traced
+        text = render_tree(tracer.spans)
+        lines = text.splitlines()
+        assert any(line.startswith("transaction ") for line in lines)
+        assert any(line.startswith("  operation ") for line in lines)
+        assert any(line.startswith("    quorum.") for line in lines)
+        assert any(line.startswith("      rpc ") for line in lines)
+
+    def test_chrome_trace_is_valid_and_complete(self, traced):
+        tracer, _cluster, _metrics = traced
+        document = json.loads(to_chrome_trace(tracer.spans))
+        events = document["traceEvents"]
+        assert len(events) == len(tracer.spans)
+        for entry in events:
+            assert entry["ph"] in ("X", "i")
+            assert "ts" in entry and "name" in entry
+            if entry["ph"] == "X":
+                assert entry["dur"] >= 0
+
+    def test_empty_forest_renders(self):
+        assert render_tree(()) == "(no spans recorded)"
+        assert parse_jsonl("") == []
+
+
+class TestMetricsRegistry:
+    def test_percentiles_interpolate(self):
+        samples = list(range(1, 101))
+        assert percentile(samples, 50) == pytest.approx(50.5)
+        assert percentile(samples, 95) == pytest.approx(95.05)
+        assert percentile(samples, 0) == 1
+        assert percentile(samples, 100) == 100
+
+    def test_histogram_summary_exposes_tail(self):
+        hist = Histogram("latency")
+        for value in [1.0] * 98 + [50.0, 100.0]:
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["p50"] == pytest.approx(1.0)
+        assert summary["p99"] > 40.0
+        assert summary["max"] == 100.0
+        assert summary["mean"] < 3.0  # the mean hides the tail — that's the point
+
+    def test_registry_instruments_are_singletons_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(2)
+        assert registry.counter("a").value == 3
+        registry.gauge("g").set(4.5)
+        registry.histogram("h").observe(1.0)
+        with pytest.raises(ValueError):
+            registry.histogram("a")
+        snapshot = registry.to_dict()
+        assert snapshot["counters"] == {"a": 3}
+        assert snapshot["gauges"] == {"g": 4.5}
+        assert snapshot["histograms"]["h"]["count"] == 1.0
+        assert "a" in registry.render()
+
+    def test_workload_metrics_flow_into_registry(self, traced):
+        _tracer, _cluster, metrics = traced
+        registry = metrics.registry
+        ok_total = sum(
+            counter.value
+            for name, counter in registry.counters.items()
+            if name.endswith(".ok")
+        )
+        assert ok_total == metrics.count("Enq", "ok") + metrics.count("Deq", "ok")
+        summary = metrics.summary()
+        for op in metrics.operations():
+            assert "latency_p99" in summary[op]
+            assert summary[op]["latency_p99"] >= summary[op]["latency_p50"]
+
+
+class TestKernelProfiler:
+    def test_accounts_dispatched_callbacks(self):
+        profiler = KernelProfiler()
+        sim = Simulator(seed=0, profiler=profiler)
+
+        def tick():
+            pass
+
+        for delay in (1.0, 2.0, 3.0):
+            sim.schedule(delay, tick)
+        sim.run()
+        assert profiler.dispatched == 3
+        (stats,) = [s for s in profiler.stats.values()]
+        assert stats.calls == 3
+        assert stats.wall_seconds >= 0.0
+        assert profiler.queue_depth.count == 3
+        assert "tick" in profiler.report()
+        assert "queue depth" in profiler.report()
+
+    def test_off_by_default(self):
+        sim = Simulator(seed=0)
+        assert sim.profiler is None
+        sim.schedule(1.0, lambda: None)
+        assert sim.run() == 1
