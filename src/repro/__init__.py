@@ -39,9 +39,10 @@ from repro.atomicity.properties import (
     HybridAtomicity,
     StaticAtomicity,
 )
+from repro.obs.audit import Auditor, AuditReport, Violation
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.profile import KernelProfiler
-from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, TraceListener, Tracer
 from repro.quorum.assignment import QuorumAssignment
 from repro.replication.cluster import Cluster, build_cluster
 from repro.replication.frontend import FrontEnd
@@ -79,10 +80,14 @@ __all__ = [
     "MetricRecorder",
     "Span",
     "Tracer",
+    "TraceListener",
     "NullTracer",
     "NULL_TRACER",
     "Histogram",
     "MetricsRegistry",
     "KernelProfiler",
+    "Auditor",
+    "AuditReport",
+    "Violation",
     "__version__",
 ]

@@ -9,7 +9,11 @@ Subcommands:
 * ``metrics`` — run the same workload and print the outcome/latency
   metrics (fixed-width table or JSON);
 * ``bench``   — time the workload in wall-clock terms, optionally with
-  kernel profiling (per-callback cost, queue depth).
+  kernel profiling (per-callback cost, queue depth);
+* ``audit``   — run the workload under the online correctness auditor
+  (live history capture + invariant monitors); exits non-zero when any
+  invariant is violated.  ``--mutate`` seeds a protocol mutation the
+  auditor must flag; ``--sweep`` runs the full fault-injection matrix.
 
 All workload subcommands share ``--seed``, ``--sites``,
 ``--transactions``, ``--crashes`` and are deterministic per seed.
@@ -50,16 +54,21 @@ def _workload_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _run_workload(
+def _build_workload(
     args: argparse.Namespace,
     *,
     tracer: Tracer | None = None,
     profiler: KernelProfiler | None = None,
 ):
-    """Drive the standard replicated-queue workload; returns (cluster, metrics)."""
+    """Assemble the standard replicated-queue workload without running it.
+
+    Returns ``(cluster, generator)`` so callers can attach observers
+    (e.g. the online auditor) or apply fault injection between
+    construction and ``generator.run``.
+    """
     from repro.dependency import known
     from repro.replication.cluster import build_cluster
-    from repro.sim.failures import CrashInjector
+    from repro.sim.failures import CrashInjector, PartitionInjector
     from repro.sim.workload import OperationMix, WorkloadGenerator
     from repro.types import Queue
 
@@ -75,6 +84,8 @@ def _run_workload(
     cluster.add_object("queue", queue, "hybrid", relation=relation)
     if args.crashes:
         CrashInjector(cluster.network, 60.0, 8.0).install()
+    if getattr(args, "partitions", False):
+        PartitionInjector(cluster.network, 80.0, 10.0).install()
     mix = OperationMix.uniform("queue", queue.invocations())
     generator = WorkloadGenerator(
         cluster.sim,
@@ -84,6 +95,17 @@ def _run_workload(
         ops_per_transaction=3,
         concurrency=4,
     )
+    return cluster, generator
+
+
+def _run_workload(
+    args: argparse.Namespace,
+    *,
+    tracer: Tracer | None = None,
+    profiler: KernelProfiler | None = None,
+):
+    """Drive the standard replicated-queue workload; returns (cluster, metrics)."""
+    cluster, generator = _build_workload(args, tracer=tracer, profiler=profiler)
     metrics = generator.run(args.transactions)
     return cluster, metrics
 
@@ -158,6 +180,78 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _audit_once(args: argparse.Namespace, mutate: str | None):
+    """One audited workload run; returns the finished AuditReport."""
+    from repro.obs.audit import Auditor
+    from repro.obs.mutations import MUTATIONS
+
+    tracer = Tracer()
+    cluster, generator = _build_workload(args, tracer=tracer)
+    # Attach first: monitors pin the declared configuration before any
+    # seeded mutation can rewrite it.
+    auditor = Auditor(cluster)
+    if mutate is not None:
+        MUTATIONS[mutate](cluster)
+    generator.run(args.transactions)
+    return auditor.finish()
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.obs.mutations import EXPECTED_INVARIANT, MUTATIONS
+
+    if args.sweep:
+        # Fault-injection sweep: clean and fault-tolerant runs must stay
+        # green; every seeded protocol mutation must be flagged, and the
+        # flag must name the invariant that mutation breaks.
+        rows: list[tuple[str, str, bool, str]] = []
+        ok = True
+        clean_cases = [("clean", argparse.Namespace(**vars(args)))]
+        crashed = argparse.Namespace(**vars(args))
+        crashed.crashes = True
+        clean_cases.append(("crashes", crashed))
+        parted = argparse.Namespace(**vars(args))
+        parted.partitions = True
+        clean_cases.append(("partitions", parted))
+        for label, case_args in clean_cases:
+            report = _audit_once(case_args, None)
+            passed = report.ok
+            ok = ok and passed
+            detail = "no violations" if report.ok else ", ".join(
+                report.violated_invariants
+            )
+            rows.append((label, "green", passed, detail))
+        for name in sorted(MUTATIONS):
+            report = _audit_once(args, name)
+            expected = EXPECTED_INVARIANT[name]
+            passed = expected in report.violated_invariants
+            ok = ok and passed
+            detail = (
+                ", ".join(report.violated_invariants)
+                if report.violated_invariants
+                else "no violations (MISSED)"
+            )
+            rows.append((f"mutate:{name}", f"flags {expected}", passed, detail))
+        width = max(len(row[0]) for row in rows)
+        lines = [f"audit sweep (seed {args.seed}, {args.sites} sites):"]
+        for label, expectation, passed, detail in rows:
+            verdict = "PASS" if passed else "FAIL"
+            lines.append(
+                f"  {label:<{width}}  expect {expectation:<24} {verdict}  [{detail}]"
+            )
+        lines.append(
+            "sweep: " + ("all expectations met" if ok else "EXPECTATIONS VIOLATED")
+        )
+        _emit("\n".join(lines), args.output)
+        return 0 if ok else 1
+
+    report = _audit_once(args, args.mutate)
+    if args.format == "json":
+        _emit(json.dumps(report.to_dict(), indent=2, sort_keys=True), args.output)
+    else:
+        _emit(report.render(), args.output)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -219,6 +313,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", "-o", default=None, help="write to a file instead of stdout"
     )
     bench.set_defaults(func=_cmd_bench)
+
+    audit = subparsers.add_parser(
+        "audit",
+        help="run a workload under the online correctness auditor",
+    )
+    _workload_arguments(audit)
+    audit.add_argument(
+        "--partitions",
+        action="store_true",
+        help="inject stochastic network partitions (interval 80, duration 10)",
+    )
+    audit.add_argument(
+        "--mutate",
+        # Kept literal so parser construction stays import-light; guarded
+        # against drift from repro.obs.mutations.MUTATIONS by test_cli.
+        choices=(
+            "early-lock-release",
+            "log-divergence",
+            "quorum-intersection",
+            "timestamp-inversion",
+        ),
+        default=None,
+        help="apply a seeded protocol mutation the auditor must flag",
+    )
+    audit.add_argument(
+        "--sweep",
+        action="store_true",
+        help="run the full fault-injection sweep (clean + crashes + "
+        "partitions stay green; every mutation must be flagged)",
+    )
+    audit.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report rendering (default: text)",
+    )
+    audit.add_argument(
+        "--output", "-o", default=None, help="write to a file instead of stdout"
+    )
+    audit.set_defaults(func=_cmd_audit)
 
     return parser
 

@@ -1,0 +1,884 @@
+"""The online correctness auditor: live histories, invariants, forensics.
+
+PR 1 gave the replication stack *latency* observability; this module
+watches *correctness*.  An :class:`Auditor` attaches to a cluster's
+:class:`~repro.obs.trace.Tracer` as a live listener and, as spans close,
+reconstructs each replicated object's behavioral history from the event
+stream — the same :class:`~repro.replication.object.HistoryRecorder`
+form the runtime keeps — while a pluggable set of
+:class:`InvariantMonitor` values checks the paper's invariants online:
+
+* **quorum-intersection** — every quorum the front-ends actually use is
+  a quorum of the coteries declared when auditing started, and every
+  observed initial/final quorum pair that the object's dependency
+  relation requires to intersect really does (paper, Section 3.2: the
+  intersection relation must contain an atomic dependency relation);
+* **lock-discipline** — synchronization state holds every executed
+  event until the owning transaction commits or aborts (2PL for the
+  dynamic scheme, dependency locks for hybrid);
+* **timestamp-order** — hybrid commit timestamps respect commit order:
+  each commit timestamp follows the transaction's begin timestamp and
+  the previous commit (Definition 3's commit-time serialization order);
+* **log-consistency** — replica logs agree: across every repository, at
+  most one ``(action, event)`` pair per Lamport timestamp (replicated
+  logs are set unions ordered by timestamp, so replicas may lag but
+  never conflict);
+* **history-capture** — the auditor's live-captured history equals the
+  runtime recorder's (the observability path does not drift from the
+  system of record);
+* **one-copy-serializability** — at end of run, each object's committed
+  actions serialized in its scheme's order (begin order for static,
+  commit order for hybrid/dynamic) form a legal serial history of the
+  object's serial data type, via :class:`~repro.spec.legality.LegalityOracle`
+  and :func:`~repro.histories.serialization.serialize`.
+
+Violations are first-class observability artifacts: each carries the
+offending span subtree and a ring buffer of recent point events
+(:class:`Forensics`), renders as a forensic report, increments
+``audit.violations.*`` counters in a :class:`~repro.obs.metrics.MetricsRegistry`,
+and is marked in the trace itself as an ``audit.violation`` event so it
+exports alongside JSONL/Chrome traces.
+
+Usage::
+
+    tracer = Tracer()
+    cluster = build_cluster(3, seed=0, tracer=tracer)
+    ...
+    auditor = Auditor(cluster)        # attaches to cluster.tracer
+    ...run the workload...
+    report = auditor.finish()         # detaches; runs end-of-run checks
+    assert report.ok, report.render()
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.histories.serialization import serialize
+from repro.obs.export import render_tree
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, TraceListener, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.replication.object import ReplicatedObject
+    from repro.txn.ids import Transaction
+
+
+# -- violations and forensics ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Forensics:
+    """What the auditor saw when an invariant broke.
+
+    ``spans`` is the offending span's subtree (root first, depth-first,
+    truncated to :data:`SUBTREE_LIMIT` nodes); ``recent_events`` is the
+    tail of the point-event stream (crashes, partitions, repository
+    reads/writes) leading up to the violation.
+    """
+
+    spans: tuple[Span, ...] = ()
+    recent_events: tuple[Span, ...] = ()
+    truncated: bool = False
+
+    def render(self, indent: str = "  ") -> str:
+        lines: list[str] = []
+        if self.spans:
+            lines.append(f"{indent}offending span subtree:")
+            for line in render_tree(self.spans).splitlines():
+                lines.append(f"{indent}  {line}")
+            if self.truncated:
+                lines.append(f"{indent}  ... (subtree truncated)")
+        if self.recent_events:
+            lines.append(f"{indent}recent events:")
+            for line in render_tree(self.recent_events).splitlines():
+                lines.append(f"{indent}  {line}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spans": [span.to_dict() for span in self.spans],
+            "recent_events": [span.to_dict() for span in self.recent_events],
+            "truncated": self.truncated,
+        }
+
+
+@dataclass
+class Violation:
+    """One broken invariant, with evidence.
+
+    Repeated identical findings (same invariant, same message) fold into
+    one violation with an occurrence ``count`` — a broken quorum
+    assignment would otherwise report every single operation.
+    """
+
+    invariant: str
+    message: str
+    object_name: str | None
+    time: float
+    span_id: int | None
+    forensics: Forensics
+    count: int = 1
+
+    def render(self) -> str:
+        where = f" object {self.object_name!r}" if self.object_name else ""
+        times = f" (x{self.count})" if self.count > 1 else ""
+        header = f"[{self.invariant}]{where} at t={self.time:.2f}{times}: {self.message}"
+        body = self.forensics.render()
+        return header if not body else f"{header}\n{body}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "object": self.object_name,
+            "time": self.time,
+            "span_id": self.span_id,
+            "count": self.count,
+            "forensics": self.forensics.to_dict(),
+        }
+
+
+#: Hard cap on forensic subtree size; a transaction-rooted subtree in a
+#: long run could otherwise dominate the report.
+SUBTREE_LIMIT = 80
+
+
+# -- the monitor interface ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OperationRecord:
+    """One successfully executed operation, resolved to runtime values.
+
+    The span's attributes are strings for export friendliness; the
+    auditor resolves them back to the live :class:`Transaction`, the
+    :class:`ReplicatedObject`, and the actual chosen
+    :class:`~repro.histories.events.Event` (the last entry the
+    transaction recorded on the object, which the synchronous operation
+    protocol guarantees is this operation's event).
+    """
+
+    span: Span
+    obj: "ReplicatedObject"
+    txn: "Transaction"
+    event: Any
+
+
+class InvariantMonitor:
+    """Base class for online invariant checks.
+
+    Subclasses override the callbacks they need; :meth:`bind` runs once
+    at attach time (capture declared configuration *before* anything can
+    mutate it) and :meth:`at_end` once at :meth:`Auditor.finish`.
+    """
+
+    #: The invariant's name, used in reports, counters, and exit codes.
+    name = "invariant"
+
+    def __init__(self) -> None:
+        self.auditor: "Auditor | None" = None
+
+    def bind(self, auditor: "Auditor") -> None:
+        self.auditor = auditor
+
+    def report(
+        self,
+        message: str,
+        *,
+        span: Span | None = None,
+        object_name: str | None = None,
+    ) -> None:
+        assert self.auditor is not None, "monitor used before bind()"
+        self.auditor.report_violation(
+            self.name, message, span=span, object_name=object_name
+        )
+
+    # -- callbacks (all optional) ------------------------------------------
+
+    def on_operation(self, record: OperationRecord) -> None:
+        """A front-end operation completed successfully."""
+
+    def on_transaction_end(self, span: Span, txn: "Transaction") -> None:
+        """A transaction span closed (outcome ``committed``/``aborted``)."""
+
+    def on_quorum(self, span: Span) -> None:
+        """A quorum-phase span closed."""
+
+    def on_point_event(self, span: Span) -> None:
+        """A point event (crash, partition, repository read/write) fired."""
+
+    def at_end(self) -> None:
+        """End-of-run checks (serializability, final sweeps)."""
+
+
+# -- the monitors ------------------------------------------------------------
+
+
+class QuorumIntersectionMonitor(InvariantMonitor):
+    """Observed quorums honor the declared assignment and intersect.
+
+    At bind time the monitor captures each object's *declared* quorum
+    assignment and, when the scheme exposes one, its dependency relation
+    (projected to ``(invocation op, event op, response kind)`` classes —
+    intersection is a property of classes, not ground events).  Then:
+
+    * every successful ``quorum`` span's member set must be a quorum of
+      the declared coterie for that operation/event class;
+    * every observed initial quorum must intersect every observed final
+      quorum of a class the dependency relation (or the declared
+      assignment itself) requires it to intersect.
+    """
+
+    name = "quorum-intersection"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: object -> (declared assignment, relation class keys)
+        self._declared: dict[str, tuple[Any, frozenset[tuple[str, str, str]]]] = {}
+        self._must_intersect: dict[tuple[str, str, str, str], bool] = {}
+        #: (object, op) -> distinct observed initial quorums
+        self._initials: dict[tuple[str, str], set[frozenset[int]]] = {}
+        #: (object, op, kind) -> distinct observed final quorums
+        self._finals: dict[tuple[str, str, str], set[frozenset[int]]] = {}
+
+    def bind(self, auditor: "Auditor") -> None:
+        super().bind(auditor)
+        for name, obj in auditor.objects().items():
+            keys = set()
+            relation = getattr(obj.cc, "relation", None)
+            if relation is not None:
+                for invocation, event in relation:
+                    keys.add((invocation.op, event.inv.op, event.res.kind))
+            self._declared[name] = (obj.assignment, frozenset(keys))
+
+    def _required(self, obj_name: str, inv_op: str, ev_op: str, kind: str) -> bool:
+        cache_key = (obj_name, inv_op, ev_op, kind)
+        cached = self._must_intersect.get(cache_key)
+        if cached is not None:
+            return cached
+        assignment, relation_keys = self._declared[obj_name]
+        if (inv_op, ev_op, kind) in relation_keys:
+            required = True
+        else:
+            # No relation available (static/dynamic schemes): the
+            # declared assignment is the contract — pairs it makes
+            # intersect must stay intersecting at runtime.
+            try:
+                required = assignment.initial(inv_op).intersects(
+                    assignment.final(ev_op, kind)
+                )
+            except Exception:
+                required = False
+        self._must_intersect[cache_key] = required
+        return required
+
+    def on_quorum(self, span: Span) -> None:
+        if span.outcome != "ok" or "quorum" not in span.attrs:
+            return
+        obj_name = span.attrs.get("object")
+        if obj_name not in self._declared:
+            return
+        op = span.attrs.get("op", "?")
+        members = frozenset(span.attrs["quorum"])
+        assignment, _keys = self._declared[obj_name]
+        if span.attrs.get("phase") == "initial":
+            coterie = assignment.initial(op)
+            if not coterie.has_quorum(members):
+                self.report(
+                    f"initial quorum {sorted(members)} for {op} is not a "
+                    f"quorum of the declared coterie {coterie!r}",
+                    span=span,
+                    object_name=obj_name,
+                )
+            self._initials.setdefault((obj_name, op), set()).add(members)
+            for (o2, ev_op, kind), finals in self._finals.items():
+                if o2 != obj_name or not self._required(obj_name, op, ev_op, kind):
+                    continue
+                for final_members in finals:
+                    if not (members & final_members):
+                        self.report(
+                            f"initial quorum {sorted(members)} for {op} is "
+                            f"disjoint from final quorum "
+                            f"{sorted(final_members)} of {ev_op};{kind} — "
+                            "the intersection relation no longer contains "
+                            "the dependency relation",
+                            span=span,
+                            object_name=obj_name,
+                        )
+        else:
+            kind = span.attrs.get("res_kind", "Ok")
+            coterie = assignment.final(op, kind)
+            if not coterie.has_quorum(members):
+                self.report(
+                    f"final quorum {sorted(members)} for {op};{kind} is not "
+                    f"a quorum of the declared coterie {coterie!r}",
+                    span=span,
+                    object_name=obj_name,
+                )
+            self._finals.setdefault((obj_name, op, kind), set()).add(members)
+            for (o2, inv_op), initials in self._initials.items():
+                if o2 != obj_name or not self._required(obj_name, inv_op, op, kind):
+                    continue
+                for initial_members in initials:
+                    if not (initial_members & members):
+                        self.report(
+                            f"final quorum {sorted(members)} for {op};{kind} "
+                            f"is disjoint from initial quorum "
+                            f"{sorted(initial_members)} of {inv_op} — "
+                            "the intersection relation no longer contains "
+                            "the dependency relation",
+                            span=span,
+                            object_name=obj_name,
+                        )
+
+
+class LockDisciplineMonitor(InvariantMonitor):
+    """Executed events stay in synchronization state until commit/abort.
+
+    Every scheme records executed events in
+    ``SynchronizationState.active_events`` and releases them only in
+    ``finalize_commit``/``finalize_abort`` — the runtime form of
+    two-phase locking.  The monitor counts each transaction's executed
+    operations per object and, at every operation completion, checks
+    the synchronization state still holds at least that many events.
+    """
+
+    name = "lock-discipline"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._executed: dict[tuple[str, Any], int] = {}
+
+    def on_operation(self, record: OperationRecord) -> None:
+        key = (record.obj.name, record.txn.id)
+        self._executed[key] = self._executed.get(key, 0) + 1
+        held = len(record.obj.sync.active_events.get(record.txn.id, ()))
+        expected = self._executed[key]
+        if held < expected:
+            self.report(
+                f"transaction {record.txn.id} holds {held} event(s) on "
+                f"{record.obj.name!r} after executing {expected} — an event "
+                "was released before commit (two-phase locking broken)",
+                span=record.span,
+                object_name=record.obj.name,
+            )
+
+    def on_transaction_end(self, span: Span, txn: "Transaction") -> None:
+        assert self.auditor is not None
+        for obj_name, txn_id in [k for k in self._executed if k[1] == txn.id]:
+            del self._executed[(obj_name, txn_id)]
+            obj = self.auditor.object(obj_name)
+            if obj is not None and txn.id in obj.sync.active_events:
+                self.report(
+                    f"transaction {txn.id} still holds events on "
+                    f"{obj_name!r} after its span closed ({span.outcome})",
+                    span=span,
+                    object_name=obj_name,
+                )
+
+
+class TimestampOrderMonitor(InvariantMonitor):
+    """Commit timestamps respect begin order and commit order.
+
+    Hybrid atomicity serializes committed actions by their commit
+    timestamps (Definition 3), which the transaction manager draws from
+    a monotone Lamport clock — so each transaction's commit timestamp
+    must strictly follow its begin timestamp, and commits observed in
+    real order must carry strictly increasing timestamps.
+    """
+
+    name = "timestamp-order"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_commit: tuple[Any, Any] | None = None  # (ts, txn id)
+
+    def on_transaction_end(self, span: Span, txn: "Transaction") -> None:
+        if span.outcome != "committed":
+            return
+        if txn.commit_ts is None:
+            self.report(
+                f"transaction {txn.id} committed without a commit timestamp",
+                span=span,
+            )
+            return
+        if not txn.begin_ts < txn.commit_ts:
+            self.report(
+                f"commit timestamp {txn.commit_ts} of {txn.id} does not "
+                f"follow its begin timestamp {txn.begin_ts} — the hybrid "
+                "serialization position precedes the transaction's start",
+                span=span,
+            )
+        if self._last_commit is not None:
+            last_ts, last_id = self._last_commit
+            if not last_ts < txn.commit_ts:
+                self.report(
+                    f"commit timestamp {txn.commit_ts} of {txn.id} is not "
+                    f"after {last_ts} of previously committed {last_id} — "
+                    "commit-timestamp order diverges from commit order",
+                    span=span,
+                )
+        if self._last_commit is None or self._last_commit[0] < txn.commit_ts:
+            self._last_commit = (txn.commit_ts, txn.id)
+
+
+class LogConsistencyMonitor(InvariantMonitor):
+    """Replica logs never conflict: one entry per Lamport timestamp.
+
+    Replicated logs are merged as timestamp-ordered set unions, so two
+    correct replicas can lag each other but can never disagree — per
+    object, each ``(counter, site)`` timestamp names at most one
+    ``(action, event)`` entry across every repository.  The monitor
+    folds every repository write into a per-object timestamp map
+    (incrementally, on ``repo.write`` events) and sweeps all
+    repositories once more at end of run.
+    """
+
+    name = "log-consistency"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._canonical: dict[str, dict[Any, tuple[Any, Any]]] = {}
+        #: (site, object) -> the entry set already checked against
+        #: canonical.  Logs grow by set-merge, so a previously verified
+        #: entry can never *become* conflicting; diffing frozensets
+        #: (which reuses their stored hashes) keeps each write scan
+        #: O(new entries) instead of re-sorting and re-hashing the whole
+        #: log — a conflicting entry is by construction one we have not
+        #: seen.
+        self._verified: dict[tuple[int, str], frozenset[Any]] = {}
+
+    def on_point_event(self, span: Span) -> None:
+        if span.name != "repo.write" or span.site is None:
+            return
+        assert self.auditor is not None
+        repositories = self.auditor.repositories
+        if not 0 <= span.site < len(repositories):
+            return
+        obj_name = span.attrs.get("object")
+        if obj_name is None:
+            return
+        repo = repositories[span.site]
+        self._scan(obj_name, repo.peek_log(obj_name), span.site, span)
+
+    def at_end(self) -> None:
+        assert self.auditor is not None
+        for site, repo in enumerate(self.auditor.repositories):
+            for obj_name in repo.stored_objects():
+                self._scan(obj_name, repo.peek_log(obj_name), site, None)
+
+    def _scan(self, obj_name: str, log, site: int, span: Span | None) -> None:
+        entries = log.entry_set
+        key = (site, obj_name)
+        verified = self._verified.get(key)
+        fresh = entries if verified is None else entries - verified
+        self._verified[key] = entries if verified is None else verified | entries
+        if not fresh:
+            return
+        canonical = self._canonical.setdefault(obj_name, {})
+        for entry in fresh:
+            identity = (entry.action, entry.event)
+            seen = canonical.setdefault(entry.ts, identity)
+            if seen != identity:
+                self.report(
+                    f"replica logs diverge at timestamp {entry.ts}: site "
+                    f"{site} holds {entry.event} for {entry.action}, another "
+                    f"replica holds {seen[1]} for {seen[0]}",
+                    span=span,
+                    object_name=obj_name,
+                )
+
+
+class HistoryConsistencyMonitor(InvariantMonitor):
+    """The live-captured history matches the runtime recorder's.
+
+    The auditor rebuilds each object's behavioral history purely from
+    the span stream; the runtime keeps its own
+    :class:`~repro.replication.object.HistoryRecorder`.  At end of run
+    the two must produce identical
+    :class:`~repro.histories.behavioral.BehavioralHistory` values — the
+    observability path is only trustworthy if it cannot drift from the
+    system of record.
+    """
+
+    name = "history-capture"
+
+    def at_end(self) -> None:
+        assert self.auditor is not None
+        for name, obj in self.auditor.objects().items():
+            captured = self.auditor.history(name)
+            recorded = obj.recorder.to_behavioral_history()
+            if captured != recorded:
+                self.report(
+                    f"live-captured history of {name!r} diverges from the "
+                    f"runtime recorder ({len(captured)} vs {len(recorded)} "
+                    "entries) — span-stream capture lost or reordered entries",
+                    object_name=name,
+                )
+
+
+class SerializabilityMonitor(InvariantMonitor):
+    """End-of-run one-copy serializability through the theory kernel.
+
+    Serializes each object's committed actions in the order its scheme
+    claims to enforce — begin-timestamp order for static atomicity,
+    commit-timestamp order for hybrid and dynamic — and replays the
+    result against the object's serial specification via its
+    :class:`~repro.spec.legality.LegalityOracle`.  An illegal
+    serialization means the run was not one-copy serializable in the
+    scheme's order: the replicated object diverged from a single
+    reliable copy.
+    """
+
+    name = "one-copy-serializability"
+
+    def at_end(self) -> None:
+        assert self.auditor is not None
+        for name, obj in self.auditor.objects().items():
+            history = self.auditor.history(name)
+            order_kind = getattr(obj.cc, "serialization_order", "commit")
+            if order_kind == "begin":
+                order = [a for a in history.begin_order if a in history.committed]
+            else:
+                order = list(history.commit_order)
+            serial = serialize(history, order)
+            if obj.oracle.is_legal(serial):
+                continue
+            illegal_at = next(
+                k
+                for k in range(1, len(serial) + 1)
+                if not obj.oracle.is_legal(serial[:k])
+            )
+            self.report(
+                f"committed {order_kind}-order serialization of {name!r} is "
+                f"illegal at event {illegal_at}/{len(serial)} "
+                f"({serial[illegal_at - 1]}) — the run is not one-copy "
+                "serializable",
+                object_name=name,
+            )
+
+
+def default_monitors() -> list[InvariantMonitor]:
+    """The full stock monitor set, in check order."""
+    return [
+        QuorumIntersectionMonitor(),
+        LockDisciplineMonitor(),
+        TimestampOrderMonitor(),
+        LogConsistencyMonitor(),
+        HistoryConsistencyMonitor(),
+        SerializabilityMonitor(),
+    ]
+
+
+# -- the report --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """The auditor's verdict for one run."""
+
+    violations: tuple[Violation, ...]
+    suppressed: dict[str, int]
+    monitors: tuple[str, ...]
+    operations: int
+    transactions: int
+    spans_seen: int
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.suppressed
+
+    @property
+    def violated_invariants(self) -> tuple[str, ...]:
+        names: list[str] = []
+        for violation in self.violations:
+            if violation.invariant not in names:
+                names.append(violation.invariant)
+        for name in sorted(self.suppressed):
+            if name not in names:
+                names.append(name)
+        return tuple(names)
+
+    def render(self) -> str:
+        if self.ok:
+            checked = ", ".join(self.monitors)
+            return (
+                f"audit: OK — {len(self.monitors)} invariants held "
+                f"({checked}) over {self.operations} operations / "
+                f"{self.transactions} transactions"
+            )
+        total = sum(v.count for v in self.violations) + sum(
+            self.suppressed.values()
+        )
+        lines = [
+            f"audit: FAIL — {total} violation(s) of "
+            f"{', '.join(self.violated_invariants)} over "
+            f"{self.operations} operations / {self.transactions} transactions",
+            "",
+        ]
+        for violation in self.violations:
+            lines.append(violation.render())
+            lines.append("")
+        for name, count in sorted(self.suppressed.items()):
+            lines.append(
+                f"[{name}] ... {count} further distinct violation(s) suppressed"
+            )
+        return "\n".join(lines).rstrip()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "monitors": list(self.monitors),
+            "operations": self.operations,
+            "transactions": self.transactions,
+            "spans_seen": self.spans_seen,
+            "violated_invariants": list(self.violated_invariants),
+            "violations": [v.to_dict() for v in self.violations],
+            "suppressed": dict(self.suppressed),
+            "metrics": self.registry.to_dict(),
+        }
+
+
+# -- the auditor -------------------------------------------------------------
+
+
+class Auditor(TraceListener):
+    """Attaches to a cluster's tracer and audits the run as it happens.
+
+    ``cluster`` is anything with ``tracer``, ``tm``, and
+    ``repositories`` attributes (normally a
+    :class:`~repro.replication.cluster.Cluster`).  The tracer must be a
+    real (enabled) tracer — the auditor *is* a trace listener, so there
+    is nothing to audit on a :class:`~repro.obs.trace.NullTracer` run.
+
+    Attach the auditor **before** the workload runs (and before any
+    fault injection you want it to treat as suspect — monitors capture
+    the declared configuration at attach time).  Call :meth:`finish`
+    after the run for the end-of-run checks and the
+    :class:`AuditReport`.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        monitors: Sequence[InvariantMonitor] | None = None,
+        *,
+        recent_events: int = 32,
+        max_per_invariant: int = 10,
+    ):
+        tracer: Tracer = cluster.tracer
+        if not tracer.enabled:
+            raise ValueError(
+                "the auditor needs an enabled Tracer; build the cluster with "
+                "tracer=Tracer() (NullTracer records nothing to audit)"
+            )
+        self._cluster = cluster
+        self._tracer = tracer
+        self._tm = cluster.tm
+        self.repositories = tuple(cluster.repositories)
+        self._monitors = tuple(
+            monitors if monitors is not None else default_monitors()
+        )
+        self._recent: deque[Span] = deque(maxlen=recent_events)
+        self._max_per_invariant = max_per_invariant
+        self._violations: dict[tuple[str, str], Violation] = {}
+        self._suppressed: dict[str, int] = {}
+        self._txn_by_label: dict[str, Any] = {}
+        self._recorders: dict[str, Any] = {}
+        self.registry = MetricsRegistry()
+        # Cached instruments: these fire per operation/transaction on
+        # the hot listener path, so skip the registry lookup each time.
+        self._ops_counter = self.registry.counter("audit.operations")
+        self._txn_counter = self.registry.counter("audit.transactions")
+        self.operations = 0
+        self.transactions = 0
+        self.spans_seen = 0
+        self._finished = False
+        self._report: AuditReport | None = None
+        for monitor in self._monitors:
+            monitor.bind(self)
+        tracer.add_listener(self)
+
+    # -- accessors for monitors --------------------------------------------
+
+    def objects(self) -> dict[str, "ReplicatedObject"]:
+        return self._tm.objects
+
+    def object(self, name: str) -> "ReplicatedObject | None":
+        return self._tm.objects.get(name)
+
+    def history(self, object_name: str):
+        """The live-captured behavioral history of one object."""
+        from repro.replication.object import HistoryRecorder
+
+        recorder = self._recorders.get(object_name)
+        if recorder is None:
+            recorder = HistoryRecorder()
+        return recorder.to_behavioral_history()
+
+    # -- violation intake ---------------------------------------------------
+
+    def report_violation(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        span: Span | None = None,
+        object_name: str | None = None,
+    ) -> None:
+        self.registry.counter("audit.violations").inc()
+        self.registry.counter(f"audit.violations.{invariant}").inc()
+        key = (invariant, message)
+        existing = self._violations.get(key)
+        if existing is not None:
+            existing.count += 1
+            return
+        distinct = sum(1 for k in self._violations if k[0] == invariant)
+        if distinct >= self._max_per_invariant:
+            self._suppressed[invariant] = self._suppressed.get(invariant, 0) + 1
+            return
+        self._violations[key] = Violation(
+            invariant=invariant,
+            message=message,
+            object_name=object_name,
+            time=self._tracer.now,
+            span_id=span.span_id if span is not None else None,
+            forensics=self._capture_forensics(span),
+        )
+        self._tracer.event(
+            "audit.violation",
+            invariant=invariant,
+            object=object_name,
+            message=message,
+        )
+
+    def _capture_forensics(self, span: Span | None) -> Forensics:
+        recent = tuple(self._recent)
+        if span is None:
+            return Forensics(recent_events=recent)
+        children: dict[int, list[Span]] = {}
+        for candidate in self._tracer.spans:
+            if candidate.parent_id is not None:
+                children.setdefault(candidate.parent_id, []).append(candidate)
+        subtree: list[Span] = []
+        truncated = False
+        stack = [span]
+        while stack:
+            node = stack.pop()
+            if len(subtree) >= SUBTREE_LIMIT:
+                truncated = True
+                break
+            subtree.append(node)
+            stack.extend(reversed(children.get(node.span_id, ())))
+        return Forensics(
+            spans=tuple(subtree), recent_events=recent, truncated=truncated
+        )
+
+    # -- TraceListener ------------------------------------------------------
+
+    def on_span_end(self, span: Span) -> None:
+        if self._finished:
+            return
+        self.spans_seen += 1
+        kind = span.kind
+        if kind == "operation":
+            self._operation_closed(span)
+        elif kind == "transaction":
+            self._transaction_closed(span)
+        elif kind == "quorum":
+            for monitor in self._monitors:
+                monitor.on_quorum(span)
+        elif kind == "event":
+            if span.name == "audit.violation":
+                return
+            self._recent.append(span)
+            for monitor in self._monitors:
+                monitor.on_point_event(span)
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _resolve_txn(self, label: str | None):
+        if label is None:
+            return None
+        txn = self._txn_by_label.get(label)
+        if txn is None:
+            for candidate in self._tm.transactions():
+                self._txn_by_label.setdefault(str(candidate.id), candidate)
+            txn = self._txn_by_label.get(label)
+        return txn
+
+    def _operation_closed(self, span: Span) -> None:
+        if span.outcome != "ok":
+            return
+        obj = self.object(span.attrs.get("object"))
+        txn = self._resolve_txn(span.attrs.get("txn"))
+        if obj is None or txn is None:
+            return
+        entries = obj.sync.own_entries(txn.id)
+        if not entries:
+            # The operation protocol records the entry before the span
+            # closes; an empty record means capture is broken.
+            self.report_violation(
+                "history-capture",
+                f"operation span for {txn.id} on {obj.name!r} closed ok but "
+                "no synchronization entry was recorded",
+                span=span,
+                object_name=obj.name,
+            )
+            return
+        event = entries[-1].event
+        self.operations += 1
+        self._ops_counter.inc()
+        from repro.replication.object import HistoryRecorder
+
+        recorder = self._recorders.setdefault(obj.name, HistoryRecorder())
+        recorder.record_op(txn, event)
+        record = OperationRecord(span=span, obj=obj, txn=txn, event=event)
+        for monitor in self._monitors:
+            monitor.on_operation(record)
+
+    def _transaction_closed(self, span: Span) -> None:
+        txn = self._resolve_txn(span.attrs.get("txn"))
+        if txn is None:
+            return
+        self.transactions += 1
+        self._txn_counter.inc()
+        committed = span.outcome == "committed"
+        for name in span.attrs.get("objects", ()):
+            recorder = self._recorders.get(name)
+            if recorder is None:
+                continue
+            if committed:
+                recorder.record_commit(txn)
+            else:
+                recorder.record_abort(txn)
+        for monitor in self._monitors:
+            monitor.on_transaction_end(span, txn)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def finish(self) -> AuditReport:
+        """Run end-of-run checks, detach, and return the report."""
+        if self._report is not None:
+            return self._report
+        for monitor in self._monitors:
+            monitor.at_end()
+        self._finished = True
+        try:
+            self._tracer.remove_listener(self)
+        except ValueError:  # pragma: no cover - already detached
+            pass
+        self._report = AuditReport(
+            violations=tuple(self._violations.values()),
+            suppressed=dict(self._suppressed),
+            monitors=tuple(m.name for m in self._monitors),
+            operations=self.operations,
+            transactions=self.transactions,
+            spans_seen=self.spans_seen,
+            registry=self.registry,
+        )
+        return self._report

@@ -101,11 +101,15 @@ def to_chrome_trace(spans: Sequence[Span]) -> str:
     Durations use complete events (``ph: "X"``); zero-length point
     markers become instant events (``ph: "i"``).  ``tid`` is the span's
     site (-1 for site-less spans such as transactions), so
-    ``chrome://tracing`` lays sites out as separate tracks.
+    ``chrome://tracing`` lays sites out as separate tracks.  Metadata
+    events (``ph: "M"``) name the process and each site track, so the
+    viewer shows "site 2" instead of a bare tid.
     """
     events = []
+    tids: set[int] = set()
     for span in spans:
         tid = span.site if span.site is not None else -1
+        tids.add(tid)
         args = {"outcome": span.outcome, "span_id": span.span_id}
         for key, value in span.attrs.items():
             if isinstance(value, (list, tuple, set, frozenset)):
@@ -129,8 +133,30 @@ def to_chrome_trace(spans: Sequence[Span]) -> str:
                     "dur": max(0.0, span.duration) * _CHROME_TIME_SCALE,
                 }
             )
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": "repro simulated cluster"},
+        }
+    ]
+    for tid in sorted(tids):
+        label = "coordinator" if tid < 0 else f"site {tid}"
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": label},
+            }
+        )
     document = {
-        "traceEvents": events,
+        "traceEvents": metadata + events,
         "displayTimeUnit": "ms",
         "otherData": {"source": "repro.obs", "clock": "simulated"},
     }

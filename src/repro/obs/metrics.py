@@ -130,7 +130,24 @@ class Histogram:
         return self.quantile(99)
 
     def summary(self) -> dict[str, float]:
-        """The percentile summary the satellite reports are built from."""
+        """The percentile summary the satellite reports are built from.
+
+        An empty histogram summarizes to zeros rather than NaN: summaries
+        feed JSON exports and fixed-width tables, where NaN either breaks
+        strict parsers or renders as noise.  Callers that need to
+        distinguish "no samples" from "all-zero samples" have ``count``.
+        (The ``mean``/``max``/``quantile`` properties keep the NaN
+        convention — there, NaN is the honest answer.)
+        """
+        if not self._samples:
+            return {
+                "count": 0.0,
+                "mean": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+                "max": 0.0,
+            }
         return {
             "count": float(self.count),
             "mean": self.mean,

@@ -1,0 +1,182 @@
+"""Seeded protocol mutations for auditor fault injection.
+
+Each mutation deliberately breaks one protocol invariant in a running
+cluster so the fault-injection sweep (``python -m repro audit --sweep``)
+can demonstrate the online auditor catches it.  Mutations are applied
+*after* the :class:`~repro.obs.audit.Auditor` attaches — the auditor's
+monitors capture the declared configuration at attach time, exactly the
+way a production checker pins the reviewed config, so a mutation cannot
+hide by rewriting the thing it is checked against.
+
+Mutations are sabotage, not simulation features: they monkey-patch live
+cluster components (quorum assignments, scheme hooks, the transaction
+manager's clock, a repository's write path) and are intentionally not
+reversible within a run.  Build a fresh cluster per mutated run.
+
+Registry::
+
+    MUTATIONS = {
+        "quorum-intersection": ...  # single-site quorums, nothing intersects
+        "early-lock-release":  ...  # drop sync state right after execution
+        "timestamp-inversion": ...  # commit timestamp before begin timestamp
+        "log-divergence":      ...  # forge a conflicting replica log entry
+    }
+
+Each entry is ``apply(cluster) -> str`` returning a one-line description
+of the sabotage for reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.clocks.timestamps import Timestamp
+from repro.histories.events import Event, Response
+from repro.quorum.assignment import OperationQuorums, QuorumAssignment
+from repro.quorum.coterie import ThresholdCoterie
+from repro.replication.log import LogEntry
+
+
+def break_quorum_intersection(cluster) -> str:
+    """Shrink every quorum to a single site.
+
+    With one-site initial and final quorums over three or more sites,
+    the intersection relation is empty: a front-end can read a view that
+    misses committed entries entirely.  The auditor's declared-coterie
+    membership check flags the very first undersized quorum.
+    """
+    for obj in cluster.tm.objects.values():
+        n = obj.assignment.n_sites
+        quorums = OperationQuorums(
+            initial=ThresholdCoterie(n, 1), final=ThresholdCoterie(n, 1)
+        )
+        obj.assignment = QuorumAssignment(
+            n, {op: quorums for op in obj.assignment.operation_names}
+        )
+    return "replaced all quorum coteries with single-site thresholds"
+
+
+def release_locks_early(cluster) -> str:
+    """Drop synchronization state the moment an event executes.
+
+    Correct schemes hold executed events in ``active_events`` until
+    commit or abort (two-phase locking / dependency locks); this
+    mutation wraps each scheme's ``on_executed`` hook to discard the
+    transaction's held events immediately, so concurrent transactions
+    stop conflicting with it.
+    """
+    for obj in cluster.tm.objects.values():
+        original = obj.cc.on_executed
+
+        def mutated(txn, event, sync, _original=original):
+            _original(txn, event, sync)
+            sync.active_events.pop(txn.id, None)
+
+        obj.cc.on_executed = mutated
+    return "synchronization state released immediately after each event"
+
+
+class _CorruptNextTick:
+    """A clock wrapper that corrupts its next timestamp draw.
+
+    Installed around one ``TransactionManager.commit`` call: the single
+    tick inside (the commit-timestamp draw) comes back *before* the
+    committing transaction's begin timestamp, at a site (-9) no real
+    clock uses, so the corrupt timestamp is unique and cannot collide
+    with legitimate log or commit timestamps.
+    """
+
+    def __init__(self, real, txn, state):
+        self._real = real
+        self._txn = txn
+        self._state = state
+
+    def tick(self) -> Timestamp:
+        ts = self._real.tick()
+        if not self._state["done"]:
+            self._state["done"] = True
+            return Timestamp(self._txn.begin_ts.counter, site=-9)
+        return ts
+
+    def witness(self, other: Timestamp) -> Timestamp:
+        return self._real.witness(other)
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+def invert_timestamps(cluster) -> str:
+    """Hand one transaction a commit timestamp before its begin timestamp.
+
+    The second transaction to reach commit phase two draws a corrupted
+    commit timestamp ``(begin.counter, site=-9)``, which orders *before*
+    its begin timestamp ``(begin.counter, site>=-1)`` — breaking the
+    monotone commit order hybrid atomicity serializes by.
+    """
+    tm = cluster.tm
+    original = tm.commit
+    state = {"done": False}
+
+    def mutated(txn, _original=original, _tm=tm, _state=state):
+        if _tm.commits >= 1 and not _state["done"]:
+            real = _tm.clock
+            _tm.clock = _CorruptNextTick(real, txn, _state)
+            try:
+                return _original(txn)
+            finally:
+                _tm.clock = real
+        return _original(txn)
+
+    tm.commit = mutated
+    return "second committing transaction draws a pre-begin commit timestamp"
+
+
+def diverge_logs(cluster) -> str:
+    """Forge a conflicting entry in repository 0's stable storage.
+
+    After repository 0's first successful log write, a second entry is
+    forged at the *same* Lamport timestamp as the newest stored entry
+    but with a different response — two replicas (or one replica's own
+    log) now disagree about what happened at that timestamp, which the
+    log-consistency monitor detects on the next write or final sweep.
+    """
+    repo = cluster.repositories[0]
+    original = repo.write_log
+    state = {"done": False}
+
+    def mutated(object_name, update, _original=original, _repo=repo, _state=state):
+        _original(object_name, update)
+        if _state["done"]:
+            return
+        log = _repo._logs.get(object_name)
+        if log is None or not len(log):
+            return
+        victim = log.ordered()[-1]
+        forged = LogEntry(
+            victim.ts,
+            Event(victim.event.inv, Response("Forged", ())),
+            victim.action,
+        )
+        _repo._logs[object_name] = log.add(forged)
+        _state["done"] = True
+
+    repo.write_log = mutated
+    return "forged a conflicting log entry at an existing timestamp on site 0"
+
+
+#: Mutation registry: name -> apply(cluster) -> description.
+MUTATIONS: dict[str, Callable[..., str]] = {
+    "quorum-intersection": break_quorum_intersection,
+    "early-lock-release": release_locks_early,
+    "timestamp-inversion": invert_timestamps,
+    "log-divergence": diverge_logs,
+}
+
+#: Which invariant each mutation is expected to trip (used by the sweep
+#: to verify the auditor caught the *seeded* fault, not a bystander).
+EXPECTED_INVARIANT = {
+    "quorum-intersection": "quorum-intersection",
+    "early-lock-release": "lock-discipline",
+    "timestamp-inversion": "timestamp-order",
+    "log-divergence": "log-consistency",
+}

@@ -136,6 +136,23 @@ class _SpanContext:
         return False
 
 
+class TraceListener:
+    """Live tap on a tracer's span stream.
+
+    Listeners see every span twice: once when it opens (attributes may
+    still be incomplete) and once when it closes (attributes final).
+    Point events produced by :meth:`Tracer.event` arrive as a single
+    start + end pair.  The online auditor (:mod:`repro.obs.audit`) is
+    the principal listener; anything with these two methods qualifies.
+    """
+
+    def on_span_start(self, span: Span) -> None:  # pragma: no cover - interface
+        pass
+
+    def on_span_end(self, span: Span) -> None:  # pragma: no cover - interface
+        pass
+
+
 class Tracer:
     """Records spans and point events against a simulated clock."""
 
@@ -150,10 +167,21 @@ class Tracer:
         self._spans: list[Span] = []
         self._stack: list[Span] = []
         self._next_id = 1
+        self._listeners: list[TraceListener] = []
 
     def bind_clock(self, clock: Any) -> None:
         """Read timestamps from ``clock.now`` from here on."""
         self._clock = clock
+
+    # -- listeners ----------------------------------------------------------
+
+    def add_listener(self, listener: TraceListener) -> None:
+        """Stream span starts/ends to ``listener`` as they happen."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: TraceListener) -> None:
+        """Detach a listener registered with :meth:`add_listener`."""
+        self._listeners.remove(listener)
 
     @property
     def now(self) -> float:
@@ -188,12 +216,16 @@ class Tracer:
         )
         self._next_id += 1
         self._spans.append(span)
+        for listener in self._listeners:
+            listener.on_span_start(span)
         return span
 
     def end_span(self, span: Span, outcome: str = "ok") -> None:
         if span.end is None:
             span.end = self._clock.now
             span.outcome = outcome
+            for listener in self._listeners:
+                listener.on_span_end(span)
 
     def span(
         self,
@@ -213,6 +245,8 @@ class Tracer:
         """A point-in-time marker (crash, recovery, async delivery, ...)."""
         span = self.start_span(name, kind="event", site=site, **attrs)
         span.end = span.start
+        for listener in self._listeners:
+            listener.on_span_end(span)
         return span
 
     # -- inspection ---------------------------------------------------------

@@ -105,7 +105,7 @@ class FrontEnd:
         entry = LogEntry(self.clock.tick(), event, txn.id)
         final = obj.assignment.final(event)
         try:
-            self._write_quorum(obj, final, view.log.add(entry), invocation.op)
+            self._write_quorum(obj, final, view.log.add(entry), event)
         except UnavailableError as failure:
             self.tm.abort(txn, reason=str(failure))
             raise TransactionAborted(txn.id, str(failure)) from failure
@@ -141,6 +141,7 @@ class FrontEnd:
             site=self.site,
             phase="initial",
             op=op_name,
+            object=obj.name,
         ) as span:
             responders: set[int] = set()
             merged = Log()
@@ -178,15 +179,18 @@ class FrontEnd:
             raise UnavailableError(op_name, missing)
 
     def _write_quorum(
-        self, obj: ReplicatedObject, coterie: Coterie, update: Log, op_name: str
+        self, obj: ReplicatedObject, coterie: Coterie, update: Log, event
     ) -> None:
         """Write the updated view until a final quorum acknowledges."""
+        op_name = event.inv.op
         with self.tracer.span(
             "quorum.final",
             kind="quorum",
             site=self.site,
             phase="final",
             op=op_name,
+            object=obj.name,
+            res_kind=event.res.kind,
         ) as span:
             acks: set[int] = set()
             if coterie.has_quorum(frozenset()):

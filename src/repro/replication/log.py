@@ -79,6 +79,18 @@ class Log:
     def actions(self) -> frozenset[ActionId]:
         return frozenset(e.action for e in self._entries)
 
+    @property
+    def entry_set(self) -> frozenset[LogEntry]:
+        """The raw unordered entry set.
+
+        Set algebra on two logs' ``entry_set``s (difference, subset)
+        reuses the hashes already stored in the frozensets, so it is
+        much cheaper than element-wise iteration, which both re-hashes
+        and sorts (``__iter__`` goes through :meth:`ordered`).  The
+        online auditor's incremental log scans depend on this.
+        """
+        return self._entries
+
     def __len__(self) -> int:
         return len(self._entries)
 

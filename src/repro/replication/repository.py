@@ -44,13 +44,7 @@ class Repository:
         re-admitted (a stale writer may ship them back).
         """
         self.writes_served += 1
-        if self.tracer.enabled:
-            self.tracer.event(
-                "repo.write",
-                site=self.site,
-                object=object_name,
-                entries=len(update),
-            )
+        incoming = len(update)
         snapshot = self._snapshots.get(object_name)
         if snapshot is not None:
             update = Log(
@@ -58,6 +52,24 @@ class Repository:
             )
         current = self._logs.get(object_name, Log())
         self._logs[object_name] = current.merge(update)
+        # Emitted after the merge so trace listeners (the online auditor)
+        # observe the repository's post-write log state.
+        if self.tracer.enabled:
+            self.tracer.event(
+                "repo.write",
+                site=self.site,
+                object=object_name,
+                entries=incoming,
+            )
+
+    def peek_log(self, object_name: str) -> Log:
+        """Inspect a stored log without counting a served read.
+
+        Observability-only accessor: the auditor's log-consistency
+        monitor uses it so auditing never perturbs ``reads_served`` or
+        emits ``repo.read`` events of its own.
+        """
+        return self._logs.get(object_name, Log())
 
     # -- compaction ---------------------------------------------------------
 

@@ -167,8 +167,13 @@ class MetricRecorder:
                 f"{100 * self.availability(op):>7.2f}% {100 * self.success_rate(op):>7.2f}%"
             )
             if with_latency:
-                hist = self.latency_histogram(op)
-                row += f" {hist.p50:>8.2f} {hist.p95:>8.2f} {hist.p99:>8.2f}"
+                # summary() (not the raw properties) so an operation with
+                # no samples prints 0.00 columns instead of nan.
+                latency = self.latency_histogram(op).summary()
+                row += (
+                    f" {latency['p50']:>8.2f} {latency['p95']:>8.2f} "
+                    f"{latency['p99']:>8.2f}"
+                )
             rows.append(row)
         if self.committed_transactions or self.aborted_transactions:
             rows.append(

@@ -91,6 +91,65 @@ class TestBench:
         assert "queue depth" in out
 
 
+class TestAudit:
+    def test_clean_run_exits_zero(self, capsys):
+        code, out = run_cli(["audit", *WORKLOAD], capsys)
+        assert code == 0
+        assert "audit: OK" in out
+        assert "one-copy-serializability" in out
+
+    def test_mutated_run_exits_nonzero_and_names_invariant(self, capsys):
+        code, out = run_cli(
+            ["audit", *WORKLOAD, "--mutate", "quorum-intersection"], capsys
+        )
+        assert code == 1
+        assert "audit: FAIL" in out
+        assert "quorum-intersection" in out
+        assert "offending span subtree" in out  # forensics rendered
+
+    def test_json_format(self, capsys):
+        code, out = run_cli(
+            ["audit", *WORKLOAD, "--mutate", "early-lock-release",
+             "--format", "json"],
+            capsys,
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["ok"] is False
+        assert "lock-discipline" in payload["violated_invariants"]
+        assert payload["violations"]
+
+    def test_sweep_meets_all_expectations(self, capsys):
+        code, out = run_cli(["audit", *WORKLOAD, "--sweep"], capsys)
+        assert code == 0, out
+        assert "sweep: all expectations met" in out
+        assert "FAIL" not in out
+        for label in ("clean", "crashes", "partitions", "mutate:"):
+            assert label in out
+
+    def test_mutate_choices_match_registry(self):
+        # The parser hardcodes its choices to stay import-light; this
+        # guards them against drift from the mutation registry.
+        import argparse
+
+        from repro.obs.mutations import MUTATIONS
+
+        parser = cli.build_parser()
+        args = parser.parse_args(
+            ["audit", "--mutate", sorted(MUTATIONS)[0]]
+        )
+        assert args.mutate in MUTATIONS
+        subparsers = next(
+            a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        audit_parser = subparsers.choices["audit"]
+        mutate_action = next(
+            a for a in audit_parser._actions if a.dest == "mutate"
+        )
+        assert tuple(mutate_action.choices) == tuple(sorted(MUTATIONS))
+
+
 class TestReportCompatibility:
     def test_no_args_prints_paper_report(self, capsys, monkeypatch):
         import repro.core.paper

@@ -195,13 +195,42 @@ class TestExporters:
     def test_chrome_trace_is_valid_and_complete(self, traced):
         tracer, _cluster, _metrics = traced
         document = json.loads(to_chrome_trace(tracer.spans))
-        events = document["traceEvents"]
+        metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        events = [e for e in document["traceEvents"] if e["ph"] != "M"]
         assert len(events) == len(tracer.spans)
         for entry in events:
             assert entry["ph"] in ("X", "i")
             assert "ts" in entry and "name" in entry
             if entry["ph"] == "X":
                 assert entry["dur"] >= 0
+        # Metadata names the process and every track (one per tid used).
+        assert {e["name"] for e in metadata} == {"process_name", "thread_name"}
+        named_tids = {
+            e["tid"] for e in metadata if e["name"] == "thread_name"
+        }
+        assert named_tids == {e["tid"] for e in events}
+        assert all(e["ts"] == 0 for e in metadata)
+        labels = {
+            e["tid"]: e["args"]["name"]
+            for e in metadata
+            if e["name"] == "thread_name"
+        }
+        assert all(
+            label == ("coordinator" if tid < 0 else f"site {tid}")
+            for tid, label in labels.items()
+        )
+
+    def test_chrome_metadata_labels_siteless_spans(self):
+        tracer = Tracer()
+        with tracer.span("transaction", kind="transaction"):
+            pass
+        document = json.loads(to_chrome_trace(tracer.spans))
+        labels = {
+            e["tid"]: e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        assert labels == {-1: "coordinator"}
 
     def test_empty_forest_renders(self):
         assert render_tree(()) == "(no spans recorded)"
@@ -225,6 +254,47 @@ class TestMetricsRegistry:
         assert summary["p99"] > 40.0
         assert summary["max"] == 100.0
         assert summary["mean"] < 3.0  # the mean hides the tail — that's the point
+
+    def test_empty_histogram_summary_is_finite(self):
+        import math
+
+        hist = Histogram("untouched")
+        summary = hist.summary()
+        assert summary == {
+            "count": 0.0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+            "max": 0.0,
+        }
+        # The raw properties keep the NaN convention for "no samples".
+        assert math.isnan(hist.mean) and math.isnan(hist.max)
+        assert math.isnan(hist.p50)
+        # render() and to_dict() must survive an empty histogram.
+        registry = MetricsRegistry()
+        registry.histogram("untouched")
+        assert "untouched" in registry.render()
+        assert registry.to_dict()["histograms"]["untouched"]["p99"] == 0.0
+        assert "nan" not in json.dumps(registry.to_dict()).lower()
+
+    def test_single_sample_histogram_summary(self):
+        hist = Histogram("one")
+        hist.observe(4.25)
+        summary = hist.summary()
+        assert summary["count"] == 1.0
+        for key in ("mean", "p50", "p95", "p99", "max"):
+            assert summary[key] == 4.25
+
+    def test_recorder_table_handles_operation_without_samples(self):
+        from repro.sim.metrics import MetricRecorder
+
+        recorder = MetricRecorder()
+        recorder.record("Enq", "ok", latency=2.0)
+        recorder.record("Deq", "unavailable")  # no latency sample
+        table = recorder.table()
+        assert "p50" in table  # latency columns present (Enq has samples)
+        assert "nan" not in table.lower()
 
     def test_registry_instruments_are_singletons_per_name(self):
         registry = MetricsRegistry()
