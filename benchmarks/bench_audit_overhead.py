@@ -19,11 +19,9 @@ Results land in ``benchmarks/results/BENCH_audit_overhead.json``
 
 from __future__ import annotations
 
-import json
-import pathlib
 from time import perf_counter
 
-from conftest import RESULTS_DIR, report
+from conftest import emit_json, report
 
 from repro.dependency import known
 from repro.obs.audit import Auditor
@@ -79,7 +77,7 @@ def _measure(mode: str) -> dict[str, float]:
     }
 
 
-def test_audit_overhead_within_budget():
+def test_audit_overhead_within_budget(bench_cache_state):
     results = {mode: _measure(mode) for mode in ("off", "traced", "audited")}
 
     def loss(base: str, probe: str) -> float:
@@ -109,9 +107,7 @@ def test_audit_overhead_within_budget():
         },
         "budget_pct": 25.0,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = pathlib.Path(RESULTS_DIR) / "BENCH_audit_overhead.json"
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    emit_json("audit_overhead", payload, cache_state=bench_cache_state)
 
     lines = [
         f"{'config':<10} {'best wall':>10} {'ops':>6} {'throughput':>12}",

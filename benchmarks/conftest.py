@@ -3,12 +3,34 @@
 Every benchmark regenerates one of the paper's figures/examples and
 emits its rows both to stdout (visible with ``pytest -s``) and to
 ``benchmarks/results/<name>.txt`` so the EXPERIMENTS.md numbers can be
-traced to a run.
+traced to a run.  Machine-readable benchmarks go through
+:func:`emit_json`, which stamps every ``BENCH_*.json`` with the
+environment that produced it — worker count, kernel-cache state, CPU
+budget — so numbers from different machines can be compared honestly.
+
+Uniform knobs (apply to every benchmark in this directory):
+
+* ``--jobs N`` — worker processes for kernel derivations and fan-out
+  benchmarks (default: the ``REPRO_JOBS`` environment variable, else 1);
+* ``--cache-state {cold,warm}`` — whether benchmarks may reuse a warmed
+  kernel-artifact cache between tests (default cold: each session gets
+  a fresh temporary cache directory either way; ``warm`` additionally
+  pre-derives the standard catalog before the first benchmark runs).
+
+The session always repoints ``REPRO_CACHE_DIR`` at a temporary
+directory, so benchmark runs never read or pollute a developer's
+``~/.cache/repro``.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import platform
+import sys
+
+import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -19,3 +41,86 @@ def report(name: str, text: str) -> None:
     print(banner + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(
+    name: str,
+    payload: dict,
+    *,
+    jobs: int | None = None,
+    cache_state: str | None = None,
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` with the standard environment stamp."""
+    from repro.compute.parallel import available_cpus, resolve_jobs
+
+    stamped = dict(payload)
+    stamped["environment"] = {
+        "python": platform.python_version(),
+        "cpus": available_cpus(),
+        "jobs": resolve_jobs(jobs),
+        "cache_state": cache_state or "cold",
+        "cache_dir": os.environ.get("REPRO_CACHE_DIR", ""),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"BENCH_{name}.json"
+    out.write_text(json.dumps(stamped, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    group = parser.getgroup("repro benchmarks")
+    group.addoption(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for kernel derivations and fan-out "
+        "benchmarks (default: REPRO_JOBS, else 1)",
+    )
+    group.addoption(
+        "--cache-state",
+        choices=("cold", "warm"),
+        default="cold",
+        help="kernel-artifact cache state benchmarks start from "
+        "(default: cold; warm pre-derives the standard catalog)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_jobs(request: pytest.FixtureRequest) -> int:
+    """The session's effective ``--jobs`` value."""
+    from repro.compute.parallel import resolve_jobs
+
+    return resolve_jobs(request.config.getoption("--jobs"))
+
+
+@pytest.fixture(scope="session")
+def bench_cache_state(request: pytest.FixtureRequest) -> str:
+    return str(request.config.getoption("--cache-state"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_kernel_cache(
+    request: pytest.FixtureRequest,
+    tmp_path_factory: pytest.TempPathFactory,
+):
+    """Point the kernel cache at a session-temporary directory.
+
+    ``--cache-state warm`` pre-derives the standard catalog into it, so
+    warm-path benchmarks measure cache loads rather than derivations.
+    """
+    from repro.compute.artifacts import clear_memory_cache, default_warm_plan, derive_catalog
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    clear_memory_cache()
+    if request.config.getoption("--cache-state") == "warm":
+        derive_catalog(
+            default_warm_plan(), jobs=request.config.getoption("--jobs")
+        )
+        clear_memory_cache()
+    yield
+    clear_memory_cache()
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous

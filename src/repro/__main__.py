@@ -14,9 +14,15 @@ Subcommands:
   (live history capture + invariant monitors); exits non-zero when any
   invariant is violated.  ``--mutate`` seeds a protocol mutation the
   auditor must flag; ``--sweep`` runs the full fault-injection matrix.
+* ``cache``   — administer the persistent kernel-artifact cache:
+  ``stats`` (traffic + disk usage), ``warm`` (pre-derive the standard
+  catalog, optionally in parallel), ``clear``.
 
 All workload subcommands share ``--seed``, ``--sites``,
 ``--transactions``, ``--crashes`` and are deterministic per seed.
+``report`` and the kernel paths honor ``--jobs`` / ``REPRO_JOBS`` for
+multiprocess derivation and ``REPRO_CACHE_DIR`` / ``REPRO_CACHE`` for
+the artifact cache.
 """
 
 from __future__ import annotations
@@ -128,7 +134,7 @@ def _emit(text: str, output: str | None) -> None:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.core.paper import paper_report
 
-    print(paper_report(fast_theorems=args.fast))
+    print(paper_report(fast_theorems=args.fast, jobs=args.jobs))
     return 0
 
 
@@ -140,11 +146,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.compute.obs import kernel_metrics
+
     cluster, metrics = _run_workload(args)
     if args.format == "json":
         payload = {
             "operations": metrics.summary(),
             "registry": metrics.registry.to_dict(),
+            "kernel": kernel_metrics().to_dict(),
             "network": {
                 "messages_sent": cluster.network.messages_sent,
                 "messages_dropped": cluster.network.messages_dropped,
@@ -152,11 +161,67 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         }
         _emit(json.dumps(payload, indent=2, sort_keys=True), args.output)
     else:
-        _emit(metrics.table(), args.output)
+        _emit(
+            metrics.table() + "\n\nkernel (this process):\n"
+            + kernel_metrics().render(),
+            args.output,
+        )
     return 0
 
 
+def _bench_worker(payload: dict) -> dict:
+    """Process-pool unit for ``bench --jobs``: one workload replica."""
+    args = argparse.Namespace(**payload)
+    wall_start = perf_counter()
+    cluster, metrics = _run_workload(args)
+    elapsed = perf_counter() - wall_start
+    return {
+        "seed": args.seed,
+        "elapsed": elapsed,
+        "operations": sum(metrics.outcomes.values()),
+        "messages": cluster.network.messages_sent,
+        "sim_time": cluster.sim.now,
+    }
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.compute.parallel import parallel_map, resolve_jobs
+
+    jobs = resolve_jobs(args.jobs)
+    if jobs > 1:
+        # Fan out independent replicas at consecutive seeds — the same
+        # experiment the simulator benchmarks repeat serially.
+        payloads = [
+            {
+                "seed": args.seed + replica,
+                "sites": args.sites,
+                "transactions": args.transactions,
+                "crashes": args.crashes,
+                "drop_probability": args.drop_probability,
+            }
+            for replica in range(jobs)
+        ]
+        wall_start = perf_counter()
+        results, parallel_used = parallel_map(_bench_worker, payloads, jobs)
+        elapsed = perf_counter() - wall_start
+        operations = sum(r["operations"] for r in results)
+        lines = [
+            f"{jobs} replicas × {args.transactions} transactions over "
+            f"{args.sites} sites (seeds {args.seed}..{args.seed + jobs - 1}, "
+            f"{'process pool' if parallel_used else 'serial fallback'})",
+        ]
+        for r in results:
+            lines.append(
+                f"  seed {r['seed']}: {r['operations']} ops in "
+                f"{r['elapsed']:.3f}s (sim time {r['sim_time']:.1f})"
+            )
+        lines.append(
+            f"wall time: {elapsed:.3f}s ({operations / elapsed:,.0f} ops/s "
+            "aggregate)"
+        )
+        _emit("\n".join(lines), args.output)
+        return 0
+
     profiler = KernelProfiler() if args.profile else None
     wall_start = perf_counter()
     cluster, metrics = _run_workload(args, profiler=profiler)
@@ -176,6 +241,67 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if profiler is not None:
         lines += ["", "kernel profile (wall time per dispatched callback):"]
         lines.append(profiler.report())
+    _emit("\n".join(lines), args.output)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.compute import (
+        default_cache,
+        default_warm_plan,
+        derive_catalog,
+        set_kernel_tracer,
+    )
+
+    cache = default_cache()
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        if args.format == "json":
+            _emit(json.dumps(stats, indent=2, sort_keys=True), args.output)
+        else:
+            lines = [f"artifact cache at {stats['root']}:"]
+            lines.append(
+                f"  {stats['artifacts']} artifacts, {stats['bytes']:,} bytes"
+            )
+            lines.append(
+                f"  lifetime traffic: {stats['hits']} hits, "
+                f"{stats['misses']} misses, {stats['stores']} stores"
+            )
+            _emit("\n".join(lines), args.output)
+        return 0
+
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} artifacts from {cache.root}")
+        return 0
+
+    # warm
+    tracer = None
+    if args.trace:
+        tracer = Tracer()
+        set_kernel_tracer(tracer)
+    plan = default_warm_plan()
+    if args.bound is not None:
+        plan = [(datatype, args.bound) for datatype, _bound in plan]
+    wall_start = perf_counter()
+    artifacts = derive_catalog(plan, jobs=args.jobs, refresh=args.refresh)
+    elapsed = perf_counter() - wall_start
+    lines = []
+    for item in artifacts:
+        lines.append(
+            f"  {item.type_name:<14} bound {item.bound}  "
+            f"|alphabet| {len(item.events):>2}  "
+            f"static {len(item.static):>3}  dynamic {len(item.dynamic):>3}  "
+            f"{item.fingerprint[:12]}"
+        )
+    lines.append(
+        f"warmed {len(artifacts)} artifacts in {elapsed:.2f}s "
+        f"(cache at {cache.root})"
+    )
+    if tracer is not None:
+        set_kernel_tracer(None)
+        lines.append("")
+        lines.append(export(tracer.spans, "tree"))
     _emit("\n".join(lines), args.output)
     return 0
 
@@ -268,6 +394,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the slowest theorem searches",
     )
+    report.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for kernel derivations on a cache miss "
+        "(default: REPRO_JOBS, else serial)",
+    )
     report.set_defaults(func=_cmd_report)
 
     trace = subparsers.add_parser(
@@ -310,9 +444,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="account wall time per simulator callback",
     )
     bench.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run N independent replicas (seeds seed..seed+N-1) in "
+        "parallel (default: REPRO_JOBS, else 1)",
+    )
+    bench.add_argument(
         "--output", "-o", default=None, help="write to a file instead of stdout"
     )
     bench.set_defaults(func=_cmd_bench)
+
+    cache = subparsers.add_parser(
+        "cache", help="administer the persistent kernel-artifact cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="show cache traffic and disk usage"
+    )
+    cache_stats.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="stats rendering (default: table)",
+    )
+    cache_stats.add_argument(
+        "--output", "-o", default=None, help="write to a file instead of stdout"
+    )
+    cache_warm = cache_sub.add_parser(
+        "warm", help="pre-derive artifacts for the standard catalog"
+    )
+    cache_warm.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes, one type per worker "
+        "(default: REPRO_JOBS, else serial)",
+    )
+    cache_warm.add_argument(
+        "--bound",
+        type=int,
+        default=None,
+        metavar="B",
+        help="override every plan entry's serial bound",
+    )
+    cache_warm.add_argument(
+        "--refresh",
+        action="store_true",
+        help="re-derive and overwrite even on a cache hit",
+    )
+    cache_warm.add_argument(
+        "--trace",
+        action="store_true",
+        help="append the kernel span forest to the output",
+    )
+    cache_warm.add_argument(
+        "--output", "-o", default=None, help="write to a file instead of stdout"
+    )
+    cache_clear = cache_sub.add_parser(
+        "clear", help="delete every cached artifact and the stats journal"
+    )
+    cache_clear.set_defaults(func=_cmd_cache)
+    cache_stats.set_defaults(func=_cmd_cache)
+    cache_warm.set_defaults(func=_cmd_cache)
 
     audit = subparsers.add_parser(
         "audit",

@@ -1,0 +1,60 @@
+"""Observability hooks for the theory-kernel compute layer.
+
+The running system threads tracers and registries through constructors;
+the kernel cannot — its entry points are free functions called from
+reports, benchmarks, and tests.  So the compute layer keeps one
+process-wide :class:`~repro.obs.metrics.MetricsRegistry` for kernel
+metrics (``kernel.cache.hit`` / ``kernel.cache.miss`` /
+``kernel.cache.store``, plus derivation timings) and one swappable
+kernel tracer (default :data:`~repro.obs.trace.NULL_TRACER`, so untraced
+derivations pay nothing).  ``python -m repro metrics`` renders the
+kernel registry alongside the workload registry; ``python -m repro
+cache warm --trace`` exports the kernel span forest.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+
+#: Counter names pre-registered so they are visible (at zero) before any
+#: cache traffic happens — readers enumerate the registry.
+_COUNTERS = ("kernel.cache.hit", "kernel.cache.miss", "kernel.cache.store")
+_HISTOGRAMS = ("kernel.derive.seconds", "kernel.cache.load.seconds")
+
+_registry = MetricsRegistry()
+_tracer: Tracer = NULL_TRACER
+
+
+def _prime(registry: MetricsRegistry) -> MetricsRegistry:
+    for name in _COUNTERS:
+        registry.counter(name)
+    for name in _HISTOGRAMS:
+        registry.histogram(name)
+    return registry
+
+
+_prime(_registry)
+
+
+def kernel_metrics() -> MetricsRegistry:
+    """The process-wide kernel metrics registry."""
+    return _registry
+
+
+def reset_kernel_metrics() -> MetricsRegistry:
+    """Swap in a fresh registry (tests); returns the new one."""
+    global _registry
+    _registry = _prime(MetricsRegistry())
+    return _registry
+
+
+def kernel_tracer() -> Tracer:
+    """The tracer kernel derivations and cache traffic report spans to."""
+    return _tracer
+
+
+def set_kernel_tracer(tracer: Tracer | None) -> None:
+    """Install ``tracer`` for kernel spans (``None`` restores the no-op)."""
+    global _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER

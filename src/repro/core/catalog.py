@@ -19,11 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.dependency.dynamic_dep import minimal_dynamic_dependency
+from repro.compute.artifacts import artifacts_for
 from repro.dependency.relation import DependencyRelation
-from repro.dependency.static_dep import minimal_static_dependency
 from repro.spec.datatype import SerialDataType
-from repro.spec.enumerate import event_alphabet
 from repro.spec.legality import LegalityOracle
 
 
@@ -56,19 +54,28 @@ class CatalogEntry:
 
 
 def catalog_entry(
-    datatype: SerialDataType, bound: int = 3, oracle: LegalityOracle | None = None
+    datatype: SerialDataType,
+    bound: int = 3,
+    oracle: LegalityOracle | None = None,
+    *,
+    jobs: int | None = None,
 ) -> CatalogEntry:
-    """Compute one type's profile at the given serial bound."""
-    oracle = oracle or LegalityOracle(datatype)
-    events = event_alphabet(datatype, bound + 2, oracle)
+    """Compute one type's profile at the given serial bound.
+
+    Served from the shared artifact layer
+    (:func:`repro.compute.artifacts.artifacts_for`): memoized in-process,
+    persisted in the content-addressed cache, derived (optionally with
+    ``jobs`` worker processes) only on a true miss.
+    """
+    artifacts = artifacts_for(datatype, bound, oracle, jobs=jobs)
     invocations = tuple(datatype.invocations())
     return CatalogEntry(
         datatype=datatype.name,
         bound=bound,
         operations=len(datatype.operations()),
-        ground_pairs_universe=len(invocations) * len(events),
-        static=minimal_static_dependency(datatype, bound, oracle, events),
-        dynamic=minimal_dynamic_dependency(datatype, bound, oracle, events),
+        ground_pairs_universe=len(invocations) * len(artifacts.events),
+        static=artifacts.static,
+        dynamic=artifacts.dynamic,
     )
 
 

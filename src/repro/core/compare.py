@@ -19,9 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.dependency.dynamic_dep import minimal_dynamic_dependency
+from repro.compute.artifacts import artifacts_for
 from repro.dependency.relation import DependencyRelation
-from repro.dependency.static_dep import minimal_static_dependency
 from repro.quorum.search import threshold_frontier
 from repro.spec.datatype import SerialDataType
 from repro.spec.legality import LegalityOracle
@@ -91,6 +90,8 @@ def compare_dependencies(
     oracle: LegalityOracle | None = None,
     frontier_sites: int | None = None,
     frontier_p: float = 0.9,
+    *,
+    jobs: int | None = None,
 ) -> DependencyComparison:
     """Compute the Figure 1-2 comparison for one data type.
 
@@ -98,14 +99,16 @@ def compare_dependencies(
     :mod:`repro.dependency.verify` (hybrid minimal relations are not
     unique, so no closed-form search exists); ``None`` omits the hybrid
     column.  With ``frontier_sites`` set, the availability frontiers of
-    all supplied relations are computed as well.
+    all supplied relations are computed as well.  The minimal relations
+    come from the shared artifact layer (memoized + persistent cache);
+    ``jobs`` shards a cache-miss derivation across processes.
     """
-    oracle = oracle or LegalityOracle(datatype)
+    artifacts = artifacts_for(datatype, bound, oracle, jobs=jobs)
     comparison = DependencyComparison(
         datatype=datatype.name,
         bound=bound,
-        static=minimal_static_dependency(datatype, bound, oracle),
-        dynamic=minimal_dynamic_dependency(datatype, bound, oracle),
+        static=artifacts.static,
+        dynamic=artifacts.dynamic,
         hybrid=hybrid,
     )
     if frontier_sites is not None:

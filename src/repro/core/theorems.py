@@ -23,9 +23,8 @@ from repro.atomicity.properties import (
     HybridAtomicity,
     StaticAtomicity,
 )
+from repro.compute.artifacts import artifacts_for
 from repro.dependency import known
-from repro.dependency.dynamic_dep import minimal_dynamic_dependency
-from repro.dependency.static_dep import minimal_static_dependency
 from repro.dependency.verify import (
     VerificationArena,
     VerificationBounds,
@@ -63,7 +62,9 @@ def _prom_events():
     )
 
 
-def verify_theorem_4(serial_bound: int = 4, max_ops: int = 3) -> TheoremResult:
+def verify_theorem_4(
+    serial_bound: int = 4, max_ops: int = 3, *, jobs: int | None = None
+) -> TheoremResult:
     """Every static dependency relation is a hybrid dependency relation.
 
     Checked on Queue and PROM: the unique minimal static relation
@@ -78,7 +79,7 @@ def verify_theorem_4(serial_bound: int = 4, max_ops: int = 3) -> TheoremResult:
         (PROM(), _prom_events()),
     ):
         oracle = LegalityOracle(datatype)
-        static_rel = minimal_static_dependency(datatype, serial_bound, oracle)
+        static_rel = artifacts_for(datatype, serial_bound, oracle, jobs=jobs).static
         arena = VerificationArena(
             HybridAtomicity(datatype, oracle),
             VerificationBounds(
@@ -145,7 +146,9 @@ def verify_theorem_5(max_ops: int = 3) -> TheoremResult:
     )
 
 
-def verify_theorem_6(serial_bound: int = 4, max_ops: int = 3) -> TheoremResult:
+def verify_theorem_6(
+    serial_bound: int = 4, max_ops: int = 3, *, jobs: int | None = None
+) -> TheoremResult:
     """The minimal static relation is unique and matches the paper (Queue).
 
     Cross-validated two ways: the Theorem 6 serial-history search must
@@ -155,7 +158,7 @@ def verify_theorem_6(serial_bound: int = 4, max_ops: int = 3) -> TheoremResult:
     """
     datatype = Queue()
     oracle = LegalityOracle(datatype)
-    searched = minimal_static_dependency(datatype, serial_bound, oracle)
+    searched = artifacts_for(datatype, serial_bound, oracle, jobs=jobs).static
     paper = known.ground(datatype, known.QUEUE_STATIC, serial_bound + 2, oracle)
     arena = VerificationArena(
         StaticAtomicity(datatype, oracle),
@@ -180,11 +183,13 @@ def verify_theorem_6(serial_bound: int = 4, max_ops: int = 3) -> TheoremResult:
     )
 
 
-def verify_theorem_10(serial_bound: int = 4, max_ops: int = 3) -> TheoremResult:
+def verify_theorem_10(
+    serial_bound: int = 4, max_ops: int = 3, *, jobs: int | None = None
+) -> TheoremResult:
     """The minimal dynamic relation is the non-commutativity relation (Queue)."""
     datatype = Queue()
     oracle = LegalityOracle(datatype)
-    searched = minimal_dynamic_dependency(datatype, serial_bound, oracle)
+    searched = artifacts_for(datatype, serial_bound, oracle, jobs=jobs).dynamic
     paper = known.ground(datatype, known.QUEUE_DYNAMIC, serial_bound + 2, oracle)
     arena = VerificationArena(
         DynamicAtomicity(datatype, oracle),
@@ -204,7 +209,9 @@ def verify_theorem_10(serial_bound: int = 4, max_ops: int = 3) -> TheoremResult:
     )
 
 
-def verify_theorem_11(serial_bound: int = 4, max_ops: int = 3) -> TheoremResult:
+def verify_theorem_11(
+    serial_bound: int = 4, max_ops: int = 3, *, jobs: int | None = None
+) -> TheoremResult:
     """A static dependency relation need not be dynamic (Queue).
 
     The minimal static relation lacks ``Enq ≥ Enq``, which Theorem 10
@@ -212,8 +219,9 @@ def verify_theorem_11(serial_bound: int = 4, max_ops: int = 3) -> TheoremResult:
     """
     datatype = Queue()
     oracle = LegalityOracle(datatype)
-    static_rel = minimal_static_dependency(datatype, serial_bound, oracle)
-    dynamic_rel = minimal_dynamic_dependency(datatype, serial_bound, oracle)
+    artifacts = artifacts_for(datatype, serial_bound, oracle, jobs=jobs)
+    static_rel = artifacts.static
+    dynamic_rel = artifacts.dynamic
     missing = dynamic_rel.difference(static_rel)
     arena = VerificationArena(
         DynamicAtomicity(datatype, oracle),
@@ -234,13 +242,13 @@ def verify_theorem_11(serial_bound: int = 4, max_ops: int = 3) -> TheoremResult:
     )
 
 
-def verify_theorem_12(max_ops: int = 4) -> TheoremResult:
+def verify_theorem_12(max_ops: int = 4, *, jobs: int | None = None) -> TheoremResult:
     """A dynamic dependency relation need not be hybrid (DoubleBuffer)."""
     datatype = DoubleBuffer()
     oracle = LegalityOracle(datatype)
     hybrid_prop = HybridAtomicity(datatype, oracle)
     relation = known.ground(datatype, known.DOUBLEBUFFER_DYNAMIC, 5, oracle)
-    searched = minimal_dynamic_dependency(datatype, 3, oracle)
+    searched = artifacts_for(datatype, 3, oracle, jobs=jobs).dynamic
     history, subhistory, appended = known.doublebuffer_theorem12_witness()
     witness_ok = (
         hybrid_prop.admits(history)
@@ -307,28 +315,31 @@ def verify_flagset_two_minimals(max_ops: int = 4) -> TheoremResult:
     )
 
 
-def verify_all_theorems(*, fast: bool = False) -> list[TheoremResult]:
+def verify_all_theorems(
+    *, fast: bool = False, jobs: int | None = None
+) -> list[TheoremResult]:
     """Run the full battery in paper order.
 
     ``fast`` trims the bounds (still covering every witness in the
     paper) for callers that regenerate the battery interactively.
+    ``jobs`` shards any cache-miss kernel derivations across processes.
     """
     if fast:
         return [
-            verify_theorem_4(serial_bound=3, max_ops=2),
+            verify_theorem_4(serial_bound=3, max_ops=2, jobs=jobs),
             verify_theorem_5(max_ops=3),
-            verify_theorem_6(serial_bound=3, max_ops=2),
-            verify_theorem_10(serial_bound=3, max_ops=2),
-            verify_theorem_11(serial_bound=3, max_ops=2),
-            verify_theorem_12(),
+            verify_theorem_6(serial_bound=3, max_ops=2, jobs=jobs),
+            verify_theorem_10(serial_bound=3, max_ops=2, jobs=jobs),
+            verify_theorem_11(serial_bound=3, max_ops=2, jobs=jobs),
+            verify_theorem_12(jobs=jobs),
             verify_flagset_two_minimals(max_ops=4),
         ]
     return [
-        verify_theorem_4(),
+        verify_theorem_4(jobs=jobs),
         verify_theorem_5(),
-        verify_theorem_6(),
-        verify_theorem_10(),
-        verify_theorem_11(),
-        verify_theorem_12(),
+        verify_theorem_6(jobs=jobs),
+        verify_theorem_10(jobs=jobs),
+        verify_theorem_11(jobs=jobs),
+        verify_theorem_12(jobs=jobs),
         verify_flagset_two_minimals(),
     ]

@@ -7,21 +7,38 @@ Theorem 10: ``inv ≥D e`` iff there exists a response ``res`` such that
 histories.
 
 :func:`commute` checks Definition 8 exhaustively over all legal
-histories of at most ``max_events`` events, and
-:func:`minimal_dynamic_dependency` assembles ``≥D`` from it.  The
-commutativity table computed here is also what the locking
+histories of at most ``max_events`` events for a *single* pair, and is
+kept as the executable reference implementation.  The full table
+(:func:`commutativity_table`) no longer calls it per pair — doing so
+re-enumerates the bounded history universe once per pair, O(pairs ×
+histories) full traversals.  Instead a **shared pass** walks the
+universe exactly once: at each legal history a
+:class:`~repro.spec.legality.LegalityCursor` knows which alphabet events
+are enabled, and every not-yet-refuted pair with both events enabled is
+checked with two memoized trie hops.  The equivalence of the two
+implementations is test-enforced (``tests/test_compute.py``).
+
+The commutativity table computed here is also what the locking
 concurrency-control scheme (:mod:`repro.cc.locking`) uses for its
 conflict matrix — the paper's point that strong dynamic atomicity ties
 *both* concurrency and availability to the same commutativity structure.
+
+The shared pass can additionally be sharded across worker processes
+(``jobs``): each top-level subtree of the history universe is an
+independent unit, refuted pairs merge by union, and the empty history is
+checked by the coordinating process.
 """
 
 from __future__ import annotations
 
 from repro.dependency.relation import DependencyRelation, GroundPair
-from repro.histories.events import Event
+from repro.histories.events import Event, SerialHistory
 from repro.spec.datatype import SerialDataType
 from repro.spec.enumerate import event_alphabet, legal_serial_histories
 from repro.spec.legality import LegalityOracle
+
+#: An unordered event pair, stored as alphabet indices ``i <= j``.
+IndexPair = tuple[int, int]
 
 
 def commute(
@@ -36,7 +53,8 @@ def commute(
     Checks every legal serial history ``h`` of at most ``max_events``
     events: whenever ``h·first`` and ``h·second`` are both legal,
     ``h·first·second`` and ``h·second·first`` must be equivalent legal
-    histories.
+    histories.  Reference implementation — the table builder uses the
+    shared pass below, whose agreement with this function is test-enforced.
     """
     oracle = oracle or LegalityOracle(datatype)
     for history in legal_serial_histories(datatype, max_events, oracle):
@@ -54,27 +72,157 @@ def commute(
     return True
 
 
+def _refute_pairs_in_subtree(
+    oracle: LegalityOracle,
+    events: tuple[Event, ...],
+    max_events: int,
+    root: SerialHistory = (),
+    refuted: set[IndexPair] | None = None,
+) -> set[IndexPair]:
+    """One walk over the legal-history subtree under ``root``.
+
+    Returns the index pairs ``(i, j)`` with ``i <= j`` for which some
+    history in the subtree witnesses non-commutativity (Definition 8).
+    ``refuted`` carries pairs already ruled out, so their checks are
+    skipped from the start.
+    """
+    invocations = list(oracle.datatype.invocations())
+    total_pairs = len(events) * (len(events) + 1) // 2
+    refuted = set() if refuted is None else set(refuted)
+
+    def visit(cursor, depth: int) -> None:
+        if len(refuted) == total_pairs:
+            return  # every pair already has a witness; nothing left to learn
+        enabled: dict[int, object] = {}
+        for idx, ev in enumerate(events):
+            child = cursor.step(ev)
+            if child.legal:
+                enabled[idx] = child
+        indices = sorted(enabled)
+        for a, i in enumerate(indices):
+            child_i = enabled[i]
+            for j in indices[a:]:
+                if (i, j) in refuted:
+                    continue
+                forward = child_i.step(events[j])
+                backward = enabled[j].step(events[i])
+                if (
+                    not forward.legal
+                    or not backward.legal
+                    or forward.frontier_key() != backward.frontier_key()
+                ):
+                    refuted.add((i, j))
+        if depth >= max_events:
+            return
+        for inv in invocations:
+            for res in sorted(cursor.responses(inv), key=str):
+                visit(cursor.step(Event(inv, res)), depth + 1)
+
+    cursor = oracle.cursor(root)
+    if cursor.legal:
+        visit(cursor, len(root))
+    return refuted
+
+
+def _shard_worker(
+    payload: tuple[SerialDataType, tuple[Event, ...], int, tuple[SerialHistory, ...]],
+) -> set[IndexPair]:
+    """Process-pool unit: refute pairs over a batch of top-level subtrees."""
+    datatype, events, max_events, roots = payload
+    oracle = LegalityOracle(datatype)
+    refuted: set[IndexPair] = set()
+    total_pairs = len(events) * (len(events) + 1) // 2
+    for root in roots:
+        if len(refuted) == total_pairs:
+            break
+        refuted = _refute_pairs_in_subtree(oracle, events, max_events, root, refuted)
+    return refuted
+
+
+def _refuted_pairs(
+    datatype: SerialDataType,
+    events: tuple[Event, ...],
+    max_events: int,
+    oracle: LegalityOracle,
+    jobs: int | None,
+) -> set[IndexPair]:
+    """All non-commuting index pairs, serially or sharded across processes."""
+    from repro.compute.parallel import parallel_map, resolve_jobs
+
+    jobs = resolve_jobs(jobs)
+    root = oracle.cursor()
+    first_events = sorted(
+        (
+            Event(inv, res)
+            for inv in datatype.invocations()
+            for res in root.responses(inv)
+        ),
+        key=str,
+    )
+    if jobs <= 1 or max_events < 1 or len(first_events) <= 1:
+        return _refute_pairs_in_subtree(oracle, events, max_events)
+    # The coordinator checks the empty history; workers split the
+    # top-level subtrees (round-robin, so expensive neighbours spread out).
+    refuted = _refute_pairs_in_subtree(oracle, events, 0)
+    batches = [
+        tuple((e,) for e in first_events[shard::jobs])
+        for shard in range(min(jobs, len(first_events)))
+    ]
+    results, _parallel = parallel_map(
+        _shard_worker,
+        [(datatype, events, max_events, batch) for batch in batches],
+        jobs,
+    )
+    for shard_refuted in results:
+        refuted |= shard_refuted
+    return refuted
+
+
 def commutativity_table(
     datatype: SerialDataType,
     max_events: int = 4,
     oracle: LegalityOracle | None = None,
     events: tuple[Event, ...] | None = None,
+    *,
+    jobs: int | None = None,
 ) -> dict[tuple[Event, Event], bool]:
     """The full pairwise commutativity table over the event alphabet.
 
     Symmetric by definition, so only one orientation is computed and the
-    table is mirrored.
+    table is mirrored.  ``jobs`` shards the single shared traversal
+    across processes by top-level history subtree (default: the
+    ``REPRO_JOBS`` environment variable, else serial).
     """
     oracle = oracle or LegalityOracle(datatype)
     if events is None:
         events = event_alphabet(datatype, max_events + 2, oracle)
+    events = tuple(events)
+    refuted = _refuted_pairs(datatype, events, max_events, oracle, jobs)
     table: dict[tuple[Event, Event], bool] = {}
     for i, first in enumerate(events):
-        for second in events[i:]:
-            result = commute(datatype, first, second, max_events, oracle)
+        for j in range(i, len(events)):
+            second = events[j]
+            result = (i, j) not in refuted
             table[(first, second)] = result
             table[(second, first)] = result
     return table
+
+
+def dependency_from_commutativity(
+    events: tuple[Event, ...],
+    table: dict[tuple[Event, Event], bool],
+) -> DependencyRelation:
+    """Assemble ``≥D`` from a commutativity table (Theorem 10).
+
+    ``inv ≥D e`` whenever some ``[inv;res]`` event from the alphabet
+    fails to commute with ``e``.
+    """
+    pairs: set[GroundPair] = set()
+    for inv_event in events:
+        for other in events:
+            if not table[(inv_event, other)]:
+                pairs.add((inv_event.inv, other))
+    return DependencyRelation(pairs)
 
 
 def minimal_dynamic_dependency(
@@ -82,20 +230,16 @@ def minimal_dynamic_dependency(
     max_events: int = 4,
     oracle: LegalityOracle | None = None,
     events: tuple[Event, ...] | None = None,
+    *,
+    jobs: int | None = None,
 ) -> DependencyRelation:
     """Compute ``≥D`` by the Theorem 10 characterization.
 
-    ``inv ≥D e`` whenever some ``[inv;res]`` event from the alphabet
-    fails to commute with ``e``.  Raising ``max_events`` can only add
-    pairs (more histories can witness non-commutativity).
+    Raising ``max_events`` can only add pairs (more histories can
+    witness non-commutativity).
     """
     oracle = oracle or LegalityOracle(datatype)
     if events is None:
         events = event_alphabet(datatype, max_events + 2, oracle)
-    table = commutativity_table(datatype, max_events, oracle, events)
-    pairs: set[GroundPair] = set()
-    for inv_event in events:
-        for other in events:
-            if not table[(inv_event, other)]:
-                pairs.add((inv_event.inv, other))
-    return DependencyRelation(pairs)
+    table = commutativity_table(datatype, max_events, oracle, events, jobs=jobs)
+    return dependency_from_commutativity(tuple(events), table)

@@ -35,6 +35,7 @@ from repro.quorum.constraints import (
 )
 from repro.quorum.availability import (
     assignment_availability,
+    binomial_tail,
     coterie_availability,
     operation_availability,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "intersection_relation",
     "satisfies",
     "violated_pairs",
+    "binomial_tail",
     "coterie_availability",
     "operation_availability",
     "assignment_availability",

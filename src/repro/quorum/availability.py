@@ -18,6 +18,7 @@ Three evaluation strategies, picked automatically:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import product
 from math import comb
 from typing import Sequence
@@ -47,9 +48,19 @@ def _site_probabilities(
     return probs
 
 
-def _binomial_tail(n: int, k: int, p: float) -> float:
-    """P[Binomial(n, p) ≥ k]."""
+@lru_cache(maxsize=65536)
+def binomial_tail(n: int, k: int, p: float) -> float:
+    """P[Binomial(n, p) ≥ k].
+
+    Cached: the threshold-frontier search evaluates the same
+    ``(n, needed, p)`` triple once per initial-threshold vector, so the
+    whole sweep collapses to at most ``n + 1`` distinct tails.
+    """
     return sum(comb(n, j) * p**j * (1.0 - p) ** (n - j) for j in range(k, n + 1))
+
+
+#: Backwards-compatible internal alias.
+_binomial_tail = binomial_tail
 
 
 def _poisson_binomial_tail(probs: Sequence[float], k: int) -> float:

@@ -22,13 +22,14 @@ every point with single-site Reads forces ``n``-site Writes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from itertools import product
 from typing import Iterable, Sequence
 
 from repro.dependency.relation import DependencyRelation
 from repro.errors import QuorumError
 from repro.quorum.assignment import OperationQuorums, QuorumAssignment
-from repro.quorum.availability import operation_availability
+from repro.quorum.availability import binomial_tail
 from repro.quorum.coterie import EmptyCoterie, ThresholdCoterie
 
 #: An event class is an ``(operation, response kind)`` pair.
@@ -44,11 +45,22 @@ class ThresholdChoice:
     initial: tuple[tuple[str, int], ...]
     final: tuple[tuple[EventClass, int], ...]
 
+    @cached_property
+    def _initial_map(self) -> dict[str, int]:
+        # cached_property writes instance __dict__ directly, which the
+        # frozen dataclass permits (no __slots__); lookups after the
+        # first are plain dict hits instead of per-call dict() rebuilds.
+        return dict(self.initial)
+
+    @cached_property
+    def _final_map(self) -> dict[EventClass, int]:
+        return dict(self.final)
+
     def initial_of(self, op: str) -> int:
-        return dict(self.initial)[op]
+        return self._initial_map[op]
 
     def final_of(self, op: str, kind: str = "Ok") -> int:
-        return dict(self.final).get((op, kind), 0)
+        return self._final_map.get((op, kind), 0)
 
     def to_assignment(self) -> QuorumAssignment:
         """Materialize as a :class:`QuorumAssignment`."""
@@ -160,15 +172,21 @@ def valid_threshold_choices(
 def _availability_vector(
     choice: ThresholdChoice, p_up: float
 ) -> tuple[tuple[str, float], ...]:
-    assignment = choice.to_assignment()
+    """Per-operation worst-case availability of a threshold choice.
+
+    For threshold coteries under identical site probabilities the joint
+    initial+final availability is a single binomial tail at the larger
+    threshold (the same up-set serves both), so the whole vector reduces
+    to cached :func:`~repro.quorum.availability.binomial_tail` lookups —
+    no :class:`QuorumAssignment` is materialized.  Equality with the
+    ``to_assignment`` + ``operation_availability`` path is test-enforced.
+    """
     result = []
-    finals = dict(choice.final)
-    for op, _k in choice.initial:
-        kinds = [kind for (name, kind) in finals if name == op] or ["Ok"]
-        worst = min(
-            operation_availability(assignment, op, p_up, kind=kind) for kind in kinds
-        )
-        result.append((op, worst))
+    for op, k_init in choice.initial:
+        finals = [k for (name, _kind), k in choice.final if name == op]
+        needed = max([k_init] + finals)
+        avail = 1.0 if needed == 0 else binomial_tail(choice.n_sites, needed, p_up)
+        result.append((op, avail))
     return tuple(result)
 
 

@@ -11,8 +11,9 @@ model-checking kernel.
 """
 
 from repro.spec.datatype import SerialDataType
-from repro.spec.legality import LegalityOracle
+from repro.spec.legality import LegalityCursor, LegalityOracle
 from repro.spec.enumerate import (
+    alphabets,
     event_alphabet,
     legal_serial_histories,
     response_alphabet,
@@ -21,7 +22,9 @@ from repro.spec.enumerate import (
 __all__ = [
     "SerialDataType",
     "LegalityOracle",
+    "LegalityCursor",
     "legal_serial_histories",
+    "alphabets",
     "event_alphabet",
     "response_alphabet",
 ]

@@ -11,6 +11,12 @@ data type's generator alphabet:
 
 Because serial specifications are prefix-closed, depth-first search with
 pruning on illegal prefixes enumerates the history universe exactly.
+The walk is driven by :class:`~repro.spec.legality.LegalityCursor`, so
+each extension is one memoized trie hop rather than a full prefix
+replay, and :func:`alphabets` derives the event and response alphabets
+together from a single traversal — the separate :func:`event_alphabet`
+and :func:`response_alphabet` entry points are now views over that one
+shared pass.
 """
 
 from __future__ import annotations
@@ -30,21 +36,75 @@ def legal_serial_histories(
     """Yield every legal serial history with at most ``max_events`` events.
 
     Histories are yielded shortest-prefix-first along each branch (the
-    empty history first).  Supplying a shared ``oracle`` lets callers
-    reuse replay memoization across searches.
+    empty history first), with sibling events in deterministic (string)
+    order.  Supplying a shared ``oracle`` lets callers reuse replay
+    memoization across searches.
     """
     oracle = oracle or LegalityOracle(datatype)
     invocations = list(datatype.invocations())
 
-    def extend(history: SerialHistory) -> Iterator[SerialHistory]:
+    def extend(history: SerialHistory, cursor) -> Iterator[SerialHistory]:
         yield history
         if len(history) >= max_events:
             return
         for inv in invocations:
-            for res in oracle.responses(history, inv):
-                yield from extend(history + (Event(inv, res),))
+            for res in sorted(cursor.responses(inv), key=str):
+                event = Event(inv, res)
+                yield from extend(history + (event,), cursor.step(event))
 
-    return extend(())
+    return extend((), oracle.cursor())
+
+
+def alphabets(
+    datatype: SerialDataType,
+    depth: int,
+    oracle: LegalityOracle | None = None,
+    *,
+    collect_responses: bool = True,
+) -> tuple[tuple[Event, ...], dict[Invocation, tuple[Response, ...]]]:
+    """Event and response alphabets from one shared traversal.
+
+    Returns ``(events, responses)`` where ``events`` is every event
+    occurring in some legal history of at most ``depth`` events (what
+    :func:`event_alphabet` returns) and ``responses`` maps each generator
+    invocation to the responses it can receive in any state reachable
+    within ``depth`` events (what :func:`response_alphabet` returns).
+    Both are deterministic (sorted by rendering).
+
+    ``collect_responses=False`` skips the response work at the leaf
+    frontier (histories of exactly ``depth`` events), which the event
+    alphabet alone never needs; the returned response map is then
+    incomplete and callers must ignore it.
+    """
+    oracle = oracle or LegalityOracle(datatype)
+    invocations = list(datatype.invocations())
+    events: set[Event] = set()
+    by_invocation: dict[Invocation, set[Response]] = {
+        inv: set() for inv in invocations
+    }
+
+    def walk(length: int, cursor) -> None:
+        at_leaf = length >= depth
+        for inv in invocations:
+            if at_leaf and not collect_responses:
+                continue
+            responses = cursor.responses(inv)
+            if collect_responses:
+                by_invocation[inv].update(responses)
+            if not at_leaf:
+                for res in responses:
+                    event = Event(inv, res)
+                    events.add(event)
+                    walk(length + 1, cursor.step(event))
+
+    walk(0, oracle.cursor())
+    return (
+        tuple(sorted(events, key=str)),
+        {
+            inv: tuple(sorted(responses, key=str))
+            for inv, responses in by_invocation.items()
+        },
+    )
 
 
 def event_alphabet(
@@ -57,11 +117,7 @@ def event_alphabet(
     The result is deterministic (sorted by rendering) so searches that
     iterate over it are reproducible.
     """
-    oracle = oracle or LegalityOracle(datatype)
-    events: set[Event] = set()
-    for history in legal_serial_histories(datatype, depth, oracle):
-        events.update(history)
-    return tuple(sorted(events, key=str))
+    return alphabets(datatype, depth, oracle, collect_responses=False)[0]
 
 
 def response_alphabet(
@@ -73,14 +129,4 @@ def response_alphabet(
 
     Considers every state reachable within ``depth`` events.
     """
-    oracle = oracle or LegalityOracle(datatype)
-    by_invocation: dict[Invocation, set[Response]] = {
-        inv: set() for inv in datatype.invocations()
-    }
-    for history in legal_serial_histories(datatype, depth, oracle):
-        for inv in datatype.invocations():
-            by_invocation[inv].update(oracle.responses(history, inv))
-    return {
-        inv: tuple(sorted(responses, key=str))
-        for inv, responses in by_invocation.items()
-    }
+    return alphabets(datatype, depth, oracle)[1]

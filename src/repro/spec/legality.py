@@ -25,12 +25,56 @@ from repro.spec.datatype import SerialDataType, State
 class _TrieNode:
     """One replay frontier, plus memoized children per event."""
 
-    __slots__ = ("frontier", "children")
+    __slots__ = ("frontier", "children", "responses")
 
     def __init__(self, frontier: dict[Hashable, State] | None):
         #: canonical-key -> representative state; ``None`` marks illegal.
         self.frontier = frontier
         self.children: dict[Event, _TrieNode] = {}
+        #: Memoized invocation -> legal responses at this frontier; built
+        #: lazily because most interior nodes are only ever stepped through.
+        self.responses: dict[Invocation, frozenset[Response]] | None = None
+
+
+class LegalityCursor:
+    """A position in the replay trie with O(1) single-event steps.
+
+    The searches that walk the whole bounded history universe — shared-pass
+    commutativity, alphabet fusion, history enumeration — re-extend the
+    *same* prefix over and over.  Replaying through
+    :meth:`LegalityOracle.is_legal` costs O(len(history)) trie hops per
+    query; a cursor pins the prefix node once, so each extension is a
+    single memoized hop.
+    """
+
+    __slots__ = ("_oracle", "_node")
+
+    def __init__(self, oracle: "LegalityOracle", node: _TrieNode):
+        self._oracle = oracle
+        self._node = node
+
+    @property
+    def legal(self) -> bool:
+        """True iff the history this cursor sits on is legal."""
+        return self._node.frontier is not None
+
+    def step(self, event: Event) -> "LegalityCursor":
+        """The cursor for this history extended by one event."""
+        return LegalityCursor(self._oracle, self._oracle._step(self._node, event))
+
+    def frontier_key(self) -> frozenset[Hashable] | None:
+        """Canonical frontier keys here (None if the history is illegal)."""
+        frontier = self._node.frontier
+        if frontier is None:
+            return None
+        return frozenset(frontier)
+
+    def responses(self, invocation: Invocation) -> frozenset[Response]:
+        """Legal responses for ``invocation`` at this position (memoized).
+
+        The returned set is the trie's own memo — treat it as immutable.
+        """
+        return self._oracle._node_responses(self._node, invocation)
 
 
 class LegalityOracle:
@@ -43,6 +87,10 @@ class LegalityOracle:
         #: Memoized replay roots for non-initial base states (used when a
         #: log prefix has been compacted into a snapshot state).
         self._base_roots: dict[Hashable, _TrieNode] = {}
+        #: depth -> invocation -> responses reachable within that depth
+        #: (memo for :meth:`_event_responses`; one BFS serves every
+        #: invocation at a given depth).
+        self._suffix_responses: dict[int, dict[Invocation, set[Response]]] = {}
 
     @property
     def datatype(self) -> SerialDataType:
@@ -86,6 +134,31 @@ class LegalityOracle:
                 return node
         return node
 
+    def _node_responses(
+        self, node: _TrieNode, invocation: Invocation
+    ) -> frozenset[Response]:
+        """Legal responses for ``invocation`` at ``node``, memoized per node."""
+        if node.frontier is None:
+            return frozenset()
+        cache = node.responses
+        if cache is None:
+            cache = node.responses = {}
+        found = cache.get(invocation)
+        if found is None:
+            found = frozenset(
+                response
+                for state in node.frontier.values()
+                for response, _next_state in self._dt.apply(state, invocation)
+            )
+            cache[invocation] = found
+        return found
+
+    # -- cursors ---------------------------------------------------------------
+
+    def cursor(self, history: SerialHistory = ()) -> LegalityCursor:
+        """A :class:`LegalityCursor` positioned after ``history``."""
+        return LegalityCursor(self, self._node(history))
+
     # -- replay from a snapshot state -----------------------------------------
 
     def is_legal_from(self, base_state: State, history: SerialHistory) -> bool:
@@ -100,14 +173,7 @@ class LegalityOracle:
         self, base_state: State, history: SerialHistory, invocation: Invocation
     ) -> set[Response]:
         """Responses legal for ``invocation`` after ``base_state · history``."""
-        frontier = self._node(history, base_state).frontier
-        if frontier is None:
-            return set()
-        found: set[Response] = set()
-        for state in frontier.values():
-            for response, _next_state in self._dt.apply(state, invocation):
-                found.add(response)
-        return found
+        return set(self._node_responses(self._node(history, base_state), invocation))
 
     # -- public queries --------------------------------------------------------
 
@@ -133,14 +199,7 @@ class LegalityOracle:
 
     def responses(self, history: SerialHistory, invocation: Invocation) -> set[Response]:
         """Every response legal for ``invocation`` after ``history``."""
-        frontier = self._node(history).frontier
-        if frontier is None:
-            return set()
-        found: set[Response] = set()
-        for state in frontier.values():
-            for response, _next_state in self._dt.apply(state, invocation):
-                found.add(response)
-        return found
+        return set(self._node_responses(self._node(history), invocation))
 
     def equivalent(self, first: SerialHistory, second: SerialHistory) -> bool:
         """``h ≡ h'``: both legal and indistinguishable by future events.
@@ -187,21 +246,30 @@ class LegalityOracle:
         return search((), depth)
 
     def _event_responses(self, invocation: Invocation, depth: int) -> set[Response]:
-        """All responses ``invocation`` can receive in states reachable in ``depth`` steps."""
-        found: set[Response] = set()
-        seen: set[Hashable] = set()
-        frontier = [self._dt.initial_state()]
-        for _ in range(depth + 1):
-            next_frontier: list[State] = []
-            for state in frontier:
-                key = self._dt.canonical(state)
-                if key in seen:
-                    continue
-                seen.add(key)
-                for inv in self._dt.invocations():
-                    for response, next_state in self._dt.apply(state, inv):
-                        if inv == invocation:
-                            found.add(response)
-                        next_frontier.append(next_state)
-            frontier = next_frontier
-        return found
+        """All responses ``invocation`` can receive in states reachable in ``depth`` steps.
+
+        Memoized by depth: one reachable-state BFS records the response
+        sets for *every* invocation, so :meth:`distinguishing_suffix` —
+        which used to re-run the BFS per invocation on every call — pays
+        for it at most once per depth over the oracle's lifetime.
+        """
+        by_invocation = self._suffix_responses.get(depth)
+        if by_invocation is None:
+            invocations = list(self._dt.invocations())
+            by_invocation = {inv: set() for inv in invocations}
+            seen: set[Hashable] = set()
+            frontier = [self._dt.initial_state()]
+            for _ in range(depth + 1):
+                next_frontier: list[State] = []
+                for state in frontier:
+                    key = self._dt.canonical(state)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    for inv in invocations:
+                        for response, next_state in self._dt.apply(state, inv):
+                            by_invocation[inv].add(response)
+                            next_frontier.append(next_state)
+                frontier = next_frontier
+            self._suffix_responses[depth] = by_invocation
+        return by_invocation[invocation]

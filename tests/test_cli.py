@@ -63,7 +63,8 @@ class TestMetrics:
         code, out = run_cli(["metrics", *WORKLOAD, "--format", "json"], capsys)
         assert code == 0
         payload = json.loads(out)
-        assert set(payload) == {"operations", "registry", "network"}
+        assert set(payload) == {"operations", "registry", "network", "kernel"}
+        assert "kernel.cache.hit" in payload["kernel"]["counters"]
         for op_stats in payload["operations"].values():
             assert "availability" in op_stats
 
@@ -174,7 +175,7 @@ class TestReportCompatibility:
         code, out = run_cli(["report", "--fast"], capsys)
         assert code == 0
         assert "FAST STUB" in out
-        assert captured_kwargs == {"fast_theorems": True}
+        assert captured_kwargs == {"fast_theorems": True, "jobs": None}
 
     def test_unknown_subcommand_errors(self, capsys):
         with pytest.raises(SystemExit):
