@@ -26,6 +26,7 @@ from repro.replication.cluster import build_cluster
 from repro.dependency import known
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
+from repro.sim.trials import run_trials, seed_range
 from repro.spec.legality import LegalityOracle
 from repro.types import Queue
 
@@ -45,8 +46,8 @@ def _run_available_copies():
     return left, right, history, serializable
 
 
-def _run_quorum_consensus():
-    cluster = build_cluster(3, seed=0)
+def _run_quorum_consensus(seed: int = 0):
+    cluster = build_cluster(3, seed=seed)
     queue = Queue()
     relation = known.ground(queue, known.QUEUE_STATIC, 5)
     obj = cluster.add_object("q", queue, "hybrid", relation=relation)
@@ -72,7 +73,13 @@ def _run_quorum_consensus():
     return minority_outcome, majority_response, admitted
 
 
-def test_available_copies_vs_quorum_consensus(benchmark):
+def _quorum_partition_trial(seed: int) -> tuple:
+    """One seeded partition scenario, compact and picklable for sharding."""
+    minority_outcome, majority_response, admitted = _run_quorum_consensus(seed)
+    return minority_outcome, str(majority_response), admitted
+
+
+def test_available_copies_vs_quorum_consensus(benchmark, bench_jobs):
     def run_both():
         return _run_available_copies(), _run_quorum_consensus()
 
@@ -85,6 +92,16 @@ def test_available_copies_vs_quorum_consensus(benchmark):
     assert minority_outcome == "UNAVAILABLE"
     assert majority_response == ok("x")
     assert qc_admitted
+
+    # Safety is not a property of one lucky seed: sweep the partition
+    # scenario across a seed range (sharded across --jobs processes when
+    # asked) and require the same verdict from every trial.
+    sweep, _ = run_trials(
+        _quorum_partition_trial, seed_range(0, 6), jobs=bench_jobs
+    )
+    assert all(
+        trial == ("UNAVAILABLE", str(ok("x")), True) for trial in sweep
+    )
 
     lines = [
         "Scenario: Enq(x); partition {0} | {1,2}; both sides attempt Deq.",

@@ -1,0 +1,271 @@
+"""Replication-runtime throughput: batched fan-out, view cache, sharding.
+
+Two measurements over the replicated-queue workload, asserting the
+throughput engine's core claims:
+
+* **batched ≥ 2× ops/sec (simulated time)** — overlapping every quorum
+  probe's round trip (``rpc_mode="batched"``) plus the incremental
+  view-merge cache must push at least twice as many front-end
+  operations through per simulated second as the serial reference path.
+  Simulated time is the deterministic metric the paper's latency and
+  availability results are stated in, so the floor is exact and
+  machine-independent; wall-clock ops/sec for both modes is recorded
+  alongside, honestly, but never asserted (it varies with host load).
+* **trial sharding ≥ 2× trials/sec** — sharding a Monte Carlo seed
+  sweep across ``--jobs`` worker processes must at least double
+  trials/sec — asserted only when the host can actually run two
+  processes at once (``available_cpus() >= 2``) and the pool really
+  engaged; on a single-CPU container the numbers are still recorded,
+  honestly, in ``benchmarks/results/BENCH_sim_throughput.json``.
+
+Both claims are *pure performance*: the batched run's outcome counters,
+message counters, and per-operation availability must be byte-identical
+to the serial run's, and the sharded sweep's aggregate byte-identical
+to the one-job sweep's — asserted here and enforced more broadly by
+``tests/test_sim_throughput.py``.
+
+Standalone: ``python benchmarks/bench_sim_throughput.py [--quick]``
+(CI's smoke job uses ``--quick``).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from conftest import emit_json, report
+
+from repro.dependency import known
+from repro.replication.cluster import build_cluster
+from repro.sim.trials import available_cpus, run_trials, seed_range
+from repro.sim.workload import OperationMix, WorkloadGenerator
+from repro.types import Queue
+
+SITES = 5
+TRANSACTIONS = 400
+QUICK_TRANSACTIONS = 120
+TRIAL_SEEDS = 6
+QUICK_TRIAL_SEEDS = 4
+TRIAL_TRANSACTIONS = 40
+TRIAL_JOBS = 4
+
+OPS_SIM_SPEEDUP_FLOOR = 2.0
+TRIALS_SPEEDUP_FLOOR = 2.0
+
+
+def _queue_workload(mode: str, seed: int, transactions: int, n_sites: int):
+    cluster = build_cluster(n_sites, seed=seed, rpc_mode=mode)
+    queue = Queue()
+    relation = known.ground(queue, known.QUEUE_STATIC, 5)
+    cluster.add_object("queue", queue, "hybrid", relation=relation)
+    generator = WorkloadGenerator(
+        cluster.sim,
+        cluster.tm,
+        cluster.frontends,
+        OperationMix.uniform("queue", queue.invocations()),
+        ops_per_transaction=1,
+        concurrency=4,
+    )
+    metrics = generator.run(transactions)
+    return cluster, metrics
+
+
+def _fingerprint(cluster, metrics) -> dict:
+    """Everything that must not change between RPC modes, JSON-shaped."""
+    return {
+        "outcomes": sorted(
+            [op, outcome, count]
+            for (op, outcome), count in metrics.outcomes.items()
+        ),
+        "messages_sent": cluster.network.messages_sent,
+        "messages_dropped": cluster.network.messages_dropped,
+        "availability": {
+            op: metrics.availability(op) for op in metrics.operations()
+        },
+    }
+
+
+def _measure_ops(transactions: int) -> dict:
+    """Serial vs batched front-end throughput on the queue workload."""
+    rows = {}
+    for mode in ("serial", "batched"):
+        started = perf_counter()
+        cluster, metrics = _queue_workload(mode, 0, transactions, SITES)
+        wall = perf_counter() - started
+        attempts = sum(metrics.attempts(op) for op in metrics.operations())
+        rows[mode] = {
+            "wall_seconds": wall,
+            "sim_seconds": cluster.sim.now,
+            "operations": attempts,
+            "ops_per_sim_second": attempts / cluster.sim.now,
+            "ops_per_wall_second": attempts / wall if wall else float("inf"),
+            "fingerprint": _fingerprint(cluster, metrics),
+        }
+        if mode == "batched":
+            rows[mode]["view_cache"] = cluster.frontends[0].view_cache.stats()
+    serial, batched = rows["serial"], rows["batched"]
+    return {
+        "transactions": transactions,
+        "sites": SITES,
+        "serial": serial,
+        "batched": batched,
+        "sim_speedup": (
+            batched["ops_per_sim_second"] / serial["ops_per_sim_second"]
+        ),
+        "wall_speedup": (
+            batched["ops_per_wall_second"] / serial["ops_per_wall_second"]
+        ),
+        "byte_identical_modes": (
+            serial["fingerprint"] == batched["fingerprint"]
+        ),
+    }
+
+
+def _availability_trial(seed: int) -> tuple:
+    """One Monte Carlo trial: a seeded queue workload with a mid-run crash.
+
+    Module-level (picklable) and a pure function of its seed, so it
+    shards across worker processes with byte-identical results.
+    """
+    cluster = build_cluster(3, seed=seed, rpc_mode="batched")
+    queue = Queue()
+    relation = known.ground(queue, known.QUEUE_STATIC, 5)
+    cluster.add_object("queue", queue, "hybrid", relation=relation)
+    generator = WorkloadGenerator(
+        cluster.sim,
+        cluster.tm,
+        cluster.frontends,
+        OperationMix.uniform("queue", queue.invocations()),
+        ops_per_transaction=1,
+        concurrency=2,
+    )
+    generator.run(TRIAL_TRANSACTIONS // 2)
+    cluster.network.crash(2)
+    metrics = generator.run(TRIAL_TRANSACTIONS // 2)
+    cluster.network.recover(2)
+    return (
+        tuple(
+            (op, round(metrics.availability(op), 9))
+            for op in metrics.operations()
+        ),
+        cluster.network.messages_sent,
+        cluster.network.messages_dropped,
+    )
+
+
+def _measure_trials(n_seeds: int) -> dict:
+    """One-job vs sharded Monte Carlo sweep over the same seeds."""
+    seeds = list(seed_range(0, n_seeds))
+    started = perf_counter()
+    one_job, _ = run_trials(_availability_trial, seeds, jobs=1)
+    one_job_seconds = perf_counter() - started
+    started = perf_counter()
+    sharded, parallel_used = run_trials(
+        _availability_trial, seeds, jobs=TRIAL_JOBS
+    )
+    sharded_seconds = perf_counter() - started
+    return {
+        "seeds": seeds,
+        "trial_transactions": TRIAL_TRANSACTIONS,
+        "one_job_seconds": one_job_seconds,
+        "sharded_seconds": sharded_seconds,
+        "trials_per_second_one_job": (
+            len(seeds) / one_job_seconds if one_job_seconds else float("inf")
+        ),
+        "trials_per_second_sharded": (
+            len(seeds) / sharded_seconds if sharded_seconds else float("inf")
+        ),
+        "trials_speedup": (
+            one_job_seconds / sharded_seconds
+            if sharded_seconds
+            else float("inf")
+        ),
+        "jobs": TRIAL_JOBS,
+        "parallel_used": parallel_used,
+        "cpus": available_cpus(),
+        "byte_identical_shards": one_job == sharded,
+    }
+
+
+def _measure(transactions: int, n_seeds: int) -> dict:
+    return {
+        "ops": _measure_ops(transactions),
+        "trials": _measure_trials(n_seeds),
+    }
+
+
+def _render(results: dict) -> str:
+    ops, trials = results["ops"], results["trials"]
+    lines = [
+        f"queue workload: {ops['transactions']} transactions, "
+        f"{ops['sites']} sites, majority quorums",
+        f"serial  rpc: {ops['serial']['ops_per_sim_second']:>8.3f} ops/sim-s  "
+        f"({ops['serial']['wall_seconds']:.3f}s wall)",
+        f"batched rpc: {ops['batched']['ops_per_sim_second']:>8.3f} ops/sim-s  "
+        f"({ops['batched']['wall_seconds']:.3f}s wall)",
+        f"throughput speedup: {ops['sim_speedup']:.2f}x simulated, "
+        f"{ops['wall_speedup']:.2f}x wall-clock",
+        f"view cache: {ops['batched']['view_cache']}",
+        f"modes byte-identical: {ops['byte_identical_modes']}",
+        f"trial sweep: {len(trials['seeds'])} seeds x "
+        f"{trials['trial_transactions']} transactions",
+        f"1 job:  {trials['trials_per_second_one_job']:>8.2f} trials/s",
+        f"{trials['jobs']} jobs: {trials['trials_per_second_sharded']:>8.2f} "
+        f"trials/s ({trials['trials_speedup']:.2f}x, "
+        f"{'pool' if trials['parallel_used'] else 'serial fallback'}, "
+        f"{trials['cpus']} cpu(s))",
+        f"shards byte-identical: {trials['byte_identical_shards']}",
+    ]
+    return "\n".join(lines)
+
+
+def _check(results: dict) -> None:
+    ops, trials = results["ops"], results["trials"]
+    assert ops["byte_identical_modes"], (
+        "batched run diverged from the serial reference"
+    )
+    assert ops["sim_speedup"] >= OPS_SIM_SPEEDUP_FLOOR, (
+        f"batched throughput {ops['sim_speedup']:.2f}x below the "
+        f"{OPS_SIM_SPEEDUP_FLOOR}x floor"
+    )
+    assert trials["byte_identical_shards"], (
+        "sharded sweep diverged from the one-job sweep"
+    )
+    if trials["cpus"] >= 2 and trials["parallel_used"]:
+        assert trials["trials_speedup"] >= TRIALS_SPEEDUP_FLOOR, (
+            f"trial sharding {trials['trials_speedup']:.2f}x below the "
+            f"{TRIALS_SPEEDUP_FLOOR}x floor on a {trials['cpus']}-cpu host"
+        )
+
+
+def test_sim_throughput(bench_cache_state):
+    results = _measure(TRANSACTIONS, TRIAL_SEEDS)
+    emit_json("sim_throughput", results, cache_state=bench_cache_state)
+    report("sim_throughput", _render(results))
+    _check(results)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import os
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="use the trimmed CI sizes"
+    )
+    args = parser.parse_args(argv)
+    # A private cache keeps the standalone run hermetic.
+    os.environ["REPRO_CACHE_DIR"] = tempfile.mkdtemp(prefix="repro-bench-")
+    results = (
+        _measure(QUICK_TRANSACTIONS, QUICK_TRIAL_SEEDS)
+        if args.quick
+        else _measure(TRANSACTIONS, TRIAL_SEEDS)
+    )
+    emit_json("sim_throughput", results, cache_state="cold")
+    report("sim_throughput", _render(results))
+    _check(results)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,9 +47,11 @@ from repro.quorum.assignment import QuorumAssignment
 from repro.replication.cluster import Cluster, build_cluster
 from repro.replication.frontend import FrontEnd
 from repro.replication.repository import Repository
+from repro.replication.viewcache import QuorumViewCache
 from repro.sim.kernel import Simulator
 from repro.sim.metrics import MetricRecorder
-from repro.sim.network import Network
+from repro.sim.network import GatherResult, Network, ProbeReply
+from repro.sim.trials import run_trials
 from repro.txn.manager import TransactionManager
 
 __version__ = "1.0.0"
@@ -74,10 +76,14 @@ __all__ = [
     "build_cluster",
     "Simulator",
     "Network",
+    "GatherResult",
+    "ProbeReply",
     "Repository",
     "FrontEnd",
+    "QuorumViewCache",
     "TransactionManager",
     "MetricRecorder",
+    "run_trials",
     "Span",
     "Tracer",
     "TraceListener",

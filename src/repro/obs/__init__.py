@@ -38,6 +38,7 @@ from repro.obs.metrics import (
 from repro.obs.profile import CallbackStats, KernelProfiler, callback_name
 from repro.obs.trace import (
     NULL_SPAN,
+    NULL_SPAN_CONTEXT,
     NULL_TRACER,
     NullTracer,
     Span,
@@ -51,6 +52,7 @@ __all__ = [
     "TraceListener",
     "NullTracer",
     "NULL_SPAN",
+    "NULL_SPAN_CONTEXT",
     "NULL_TRACER",
     "Counter",
     "Gauge",

@@ -136,6 +136,30 @@ class _SpanContext:
         return False
 
 
+class _ParentContext:
+    """Context manager making an open span the implicit parent.
+
+    Unlike :class:`_SpanContext` it does not close the span on exit:
+    the batched RPC path opens per-probe spans manually (they outlive
+    the enclosing Python frame) but still wants repository events
+    emitted while a probe's handler runs to parent under that probe.
+    """
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        self._tracer._stack.pop()
+        return False
+
+
 class TraceListener:
     """Live tap on a tracer's span stream.
 
@@ -241,6 +265,13 @@ class Tracer:
             self, self.start_span(name, kind=kind, parent=parent, site=site, **attrs)
         )
 
+    def under(self, span: Span) -> _ParentContext:
+        """Make ``span`` the implicit parent for the ``with`` body.
+
+        The span is left open on exit; close it with :meth:`end_span`.
+        """
+        return _ParentContext(self, span)
+
     def event(self, name: str, *, site: int | None = None, **attrs: Any) -> Span:
         """A point-in-time marker (crash, recovery, async delivery, ...)."""
         span = self.start_span(name, kind="event", site=site, **attrs)
@@ -313,13 +344,15 @@ class _NullSpanContext:
 
 
 class NullTracer(Tracer):
-    """A tracer that records nothing — the zero-overhead default."""
+    """A tracer that records nothing — the zero-overhead default.
+
+    ``span`` returns the process-wide :data:`NULL_SPAN_CONTEXT`
+    singleton, so a disabled tracer allocates nothing per call: every
+    ``with tracer.span(...)`` on the hot RPC path reuses one shared
+    context manager instead of constructing a fresh object per probe.
+    """
 
     enabled = False
-
-    def __init__(self) -> None:
-        super().__init__()
-        self._ctx = _NullSpanContext()
 
     def bind_clock(self, clock: Any) -> None:
         pass
@@ -331,12 +364,16 @@ class NullTracer(Tracer):
         pass
 
     def span(self, name: str, **_kw: Any) -> _NullSpanContext:
-        return self._ctx
+        return NULL_SPAN_CONTEXT
+
+    def under(self, span: Span) -> _NullSpanContext:  # type: ignore[override]
+        return NULL_SPAN_CONTEXT
 
     def event(self, name: str, **_kw: Any) -> Span:
         return NULL_SPAN
 
 
-#: Shared no-op span and tracer instances.
+#: Shared no-op span, span-context, and tracer instances.
 NULL_SPAN = _NullSpan()
+NULL_SPAN_CONTEXT = _NullSpanContext()
 NULL_TRACER = NullTracer()

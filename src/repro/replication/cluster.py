@@ -109,6 +109,7 @@ def build_cluster(
     drop_probability: float = 0.0,
     tracer: Tracer | None = None,
     profiler: KernelProfiler | None = None,
+    rpc_mode: str = "batched",
 ) -> Cluster:
     """Assemble the full stack over ``n_sites`` repository sites.
 
@@ -116,6 +117,12 @@ def build_cluster(
     default), reflecting the paper's observation that front-ends can be
     replicated to an arbitrary extent so availability is dominated by
     repositories.
+
+    ``rpc_mode`` selects how front-ends assemble quorums: ``"batched"``
+    (the default) overlaps probe latencies through
+    :meth:`~repro.sim.network.Network.gather` and reuses cached view
+    merges; ``"serial"`` walks sites one round-trip at a time — the
+    reference path the equality tests compare against.
 
     Pass a :class:`~repro.obs.trace.Tracer` to capture span trees
     (transaction → operation → quorum phase → RPC) over simulated time,
@@ -131,6 +138,7 @@ def build_cluster(
         latency=latency,
         drop_probability=drop_probability,
         tracer=tracer,
+        rpc_mode=rpc_mode,
     )
     repositories = tuple(
         Repository(site, tracer=tracer) for site in range(n_sites)

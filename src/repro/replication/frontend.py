@@ -27,6 +27,7 @@ from repro.replication.log import Log, LogEntry
 from repro.replication.object import ReplicatedObject
 from repro.replication.repository import Repository
 from repro.replication.view import View
+from repro.replication.viewcache import QuorumViewCache
 from repro.sim.network import Network, Timeout
 from repro.txn.ids import Transaction
 from repro.txn.manager import TransactionManager
@@ -51,6 +52,10 @@ class FrontEnd:
         self.clock = LamportClock(site=site)
         #: Span sink; defaults to the network's (usually null).
         self.tracer = tracer if tracer is not None else network.tracer
+        #: Incremental view-merge cache, consulted on the batched RPC
+        #: path only (``network.rpc_mode == "batched"``); the serial
+        #: path re-merges from scratch and stays the reference.
+        self.view_cache = QuorumViewCache()
 
     # -- the operation protocol -----------------------------------------------
 
@@ -133,8 +138,56 @@ class FrontEnd:
 
         Returns ``(log, snapshot_or_None)``; entries covered by the
         snapshot are filtered out (a lagging repository may still hold
-        them).
+        them).  Dispatches on ``network.rpc_mode``: batched probes
+        overlap their latencies through :meth:`Network.gather` and feed
+        the incremental view-merge cache; serial is the one-RPC-at-a-
+        time reference walk.
         """
+        if self.network.rpc_mode == "batched":
+            return self._read_quorum_batched(obj, coterie, op_name)
+        return self._read_quorum_serial(obj, coterie, op_name)
+
+    def _read_quorum_batched(
+        self, obj: ReplicatedObject, coterie: Coterie, op_name: str
+    ) -> tuple[Log, object]:
+        with self.tracer.span(
+            "quorum.initial",
+            kind="quorum",
+            site=self.site,
+            phase="initial",
+            op=op_name,
+            object=obj.name,
+        ) as span:
+            if coterie.has_quorum(frozenset()):
+                span.annotate(quorum=())
+                return Log(), None
+            name = obj.name
+            outcome = self.network.gather(
+                self.site,
+                self._site_order(),
+                lambda site: (
+                    self.repositories[site].read_log(name),
+                    self.repositories[site].read_snapshot(name),
+                    self.repositories[site].log_version(name),
+                ),
+                stop=coterie.has_quorum,
+            )
+            responders = outcome.responders
+            if not coterie.has_quorum(responders):
+                missing = frozenset(range(len(self.repositories))) - responders
+                span.annotate(
+                    responders=sorted(responders), missing=sorted(missing)
+                )
+                raise UnavailableError(op_name, missing)
+            merged, best = self.view_cache.merged_view(
+                name, outcome.in_attempt_order()
+            )
+            span.annotate(quorum=sorted(responders))
+            return merged, best
+
+    def _read_quorum_serial(
+        self, obj: ReplicatedObject, coterie: Coterie, op_name: str
+    ) -> tuple[Log, object]:
         with self.tracer.span(
             "quorum.initial",
             kind="quorum",
@@ -182,6 +235,57 @@ class FrontEnd:
         self, obj: ReplicatedObject, coterie: Coterie, update: Log, event
     ) -> None:
         """Write the updated view until a final quorum acknowledges."""
+        if self.network.rpc_mode == "batched":
+            return self._write_quorum_batched(obj, coterie, update, event)
+        return self._write_quorum_serial(obj, coterie, update, event)
+
+    def _write_quorum_batched(
+        self, obj: ReplicatedObject, coterie: Coterie, update: Log, event
+    ) -> None:
+        op_name = event.inv.op
+        with self.tracer.span(
+            "quorum.final",
+            kind="quorum",
+            site=self.site,
+            phase="final",
+            op=op_name,
+            object=obj.name,
+            res_kind=event.res.kind,
+        ) as span:
+            if coterie.has_quorum(frozenset()):
+                span.annotate(quorum=())
+                return
+            name = obj.name
+            outcome = self.network.gather(
+                self.site,
+                self._site_order(),
+                # The version pair is captured atomically around the
+                # write so the view cache can prove, from the ack alone,
+                # that nothing else touched the fragment since our read.
+                lambda site: (
+                    self.repositories[site].log_version(name),
+                    self.repositories[site].write_log(name, update),
+                ),
+                stop=coterie.has_quorum,
+            )
+            acks = outcome.responders
+            if not coterie.has_quorum(acks):
+                missing = frozenset(range(len(self.repositories))) - acks
+                span.annotate(responders=sorted(acks), missing=sorted(missing))
+                raise UnavailableError(op_name, missing)
+            self.view_cache.note_write(
+                name,
+                update,
+                tuple(
+                    (reply.site, reply.value[0], reply.value[1])
+                    for reply in outcome.in_attempt_order()
+                ),
+            )
+            span.annotate(quorum=sorted(acks))
+
+    def _write_quorum_serial(
+        self, obj: ReplicatedObject, coterie: Coterie, update: Log, event
+    ) -> None:
         op_name = event.inv.op
         with self.tracer.span(
             "quorum.final",

@@ -23,9 +23,23 @@ class Repository:
         self._logs: dict[str, Log] = {}
         #: Compacted prefixes, per object (see repro.replication.snapshot).
         self._snapshots: dict[str, object] = {}
+        #: Per-object version counters, bumped whenever the stored log
+        #: (or its underlying snapshot) actually changes.  Front-ends key
+        #: incremental view-merge caches on these, so the counter must
+        #: move on every mutation a quorum read could observe.
+        self._versions: dict[str, int] = {}
         self.reads_served = 0
         self.writes_served = 0
         self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def log_version(self, object_name: str) -> int:
+        """Monotone per-object change counter (0 = never written)."""
+        return self._versions.get(object_name, 0)
+
+    def _bump(self, object_name: str) -> int:
+        version = self._versions.get(object_name, 0) + 1
+        self._versions[object_name] = version
+        return version
 
     def read_log(self, object_name: str) -> Log:
         """Serve this repository's fragment of an object's log."""
@@ -37,11 +51,13 @@ class Repository:
             )
         return log
 
-    def write_log(self, object_name: str, update: Log) -> None:
+    def write_log(self, object_name: str, update: Log) -> int:
         """Merge a view written by a front-end into stable storage.
 
         Entries already folded into this repository's snapshot are not
-        re-admitted (a stale writer may ship them back).
+        re-admitted (a stale writer may ship them back).  Returns the
+        post-write log version, so batched writers can refresh their
+        merge caches from the ack alone.
         """
         self.writes_served += 1
         incoming = len(update)
@@ -51,7 +67,10 @@ class Repository:
                 entry for entry in update if entry.action not in snapshot.dropped
             )
         current = self._logs.get(object_name, Log())
-        self._logs[object_name] = current.merge(update)
+        merged = current.merge(update)
+        if merged is not current:
+            self._logs[object_name] = merged
+            self._bump(object_name)
         # Emitted after the merge so trace listeners (the online auditor)
         # observe the repository's post-write log state.
         if self.tracer.enabled:
@@ -61,6 +80,7 @@ class Repository:
                 object=object_name,
                 entries=incoming,
             )
+        return self._versions.get(object_name, 0)
 
     def peek_log(self, object_name: str) -> Log:
         """Inspect a stored log without counting a served read.
@@ -91,12 +111,16 @@ class Repository:
         self._logs[object_name] = Log(
             entry for entry in log if entry.action not in snapshot.dropped
         )
+        self._bump(object_name)
 
     def append_entry(self, object_name: str, entry: LogEntry) -> None:
         """Merge a single entry (used by anti-entropy and tests)."""
         self.writes_served += 1
         current = self._logs.get(object_name, Log())
-        self._logs[object_name] = current.add(entry)
+        added = current.add(entry)
+        if added is not current:
+            self._logs[object_name] = added
+            self._bump(object_name)
 
     def stored_objects(self) -> tuple[str, ...]:
         return tuple(sorted(self._logs))

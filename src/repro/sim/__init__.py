@@ -13,9 +13,10 @@ reproducible.
 """
 
 from repro.sim.kernel import Simulator
-from repro.sim.network import Network
+from repro.sim.network import GatherResult, Network, ProbeReply
 from repro.sim.failures import CrashInjector, PartitionInjector, FailureScript
 from repro.sim.metrics import MetricRecorder
+from repro.sim.trials import run_trials
 
 # repro.sim.workload sits above the replication layer (it drives
 # front-ends), so it is imported directly rather than re-exported here —
@@ -24,8 +25,11 @@ from repro.sim.metrics import MetricRecorder
 __all__ = [
     "Simulator",
     "Network",
+    "GatherResult",
+    "ProbeReply",
     "CrashInjector",
     "PartitionInjector",
     "FailureScript",
     "MetricRecorder",
+    "run_trials",
 ]

@@ -35,6 +35,12 @@ class _Scheduled:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    dispatched: bool = field(default=False, compare=False)
+
+
+#: Queues shorter than this are never compacted: rebuilding a tiny heap
+#: costs more than carrying a handful of tombstones to the top.
+_COMPACT_FLOOR = 64
 
 
 class Simulator:
@@ -49,6 +55,12 @@ class Simulator:
     ):
         self._queue: list[_Scheduled] = []
         self._seq = 0
+        #: Live count of scheduled, not-cancelled, not-yet-run events —
+        #: kept in lockstep by schedule/cancel/dispatch so ``pending``
+        #: is O(1) instead of an O(n) scan of the heap.
+        self._live = 0
+        #: Cancelled events still buried in the heap (tombstones).
+        self._tombstones = 0
         self.now = 0.0
         #: The single source of randomness for the whole simulation.
         self.rng = random.Random(seed)
@@ -65,16 +77,38 @@ class Simulator:
         event = _Scheduled(self.now + delay, self._seq, callback)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> _Scheduled:
         """Run ``callback`` at absolute simulated ``time``."""
         return self.schedule(time - self.now, callback)
 
-    @staticmethod
-    def cancel(event: _Scheduled) -> None:
+    def cancel(self, event: _Scheduled) -> None:
         """Cancel a scheduled event (no-op if it already ran)."""
+        if event.cancelled or event.dispatched:
+            return
         event.cancelled = True
+        self._live -= 1
+        self._tombstones += 1
+        if (
+            self._tombstones * 2 > len(self._queue)
+            and len(self._queue) >= _COMPACT_FLOOR
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled tombstones.
+
+        Lazy cancellation leaves cancelled events buried in the heap
+        until they bubble to the top; a schedule/cancel-heavy workload
+        (timeouts that rarely fire) would otherwise grow the queue
+        without bound.  Heapify of the survivors is O(n) and preserves
+        dispatch order because (time, seq) keys are unique.
+        """
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._tombstones = 0
 
     def advance(self, delta: float) -> None:
         """Advance the clock without dispatching (models local work time)."""
@@ -100,10 +134,13 @@ class Simulator:
                 event = self._queue[0]
                 if event.cancelled:
                     heapq.heappop(self._queue)
+                    self._tombstones -= 1
                     continue
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._queue)
+                event.dispatched = True
+                self._live -= 1
                 self.now = max(self.now, event.time)
                 if profiler is not None:
                     wall_start = perf_counter()
@@ -138,5 +175,9 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events in the queue.
+
+        O(1): a live counter maintained by ``schedule``/``cancel`` and
+        the dispatch loop, not a scan of the heap.
+        """
+        return self._live

@@ -11,20 +11,72 @@ partition the functioning sites into groups that cannot reach each other
   original message was lost, that the reply was lost, that the recipient
   has crashed, or simply that the recipient is slow"), charges simulated
   latency, and raises :class:`Timeout` on failure.
+* :meth:`Network.gather` — a batched RPC that launches one probe per
+  destination through the kernel at the same instant, so their
+  latencies overlap instead of accumulating.  Probes are issued in
+  *waves*: each wave is the shortest prefix of the remaining
+  destinations that could satisfy the caller's ``stop`` predicate if
+  every probe in it responded, so a stable set of reachable sites is
+  probed exactly as the serial walk would probe it (same attempted
+  sites, same message counts) while a failed probe widens the next
+  wave.  Completion ordering is deterministic: replies are reported
+  sorted by (completion time, site id).
 * :meth:`Network.send` — an asynchronous message scheduled through the
   kernel, used by failure injectors and background anti-entropy.
 
-Both styles draw from the simulator's seeded RNG, so behaviour is
+All styles draw from the simulator's seeded RNG, so behaviour is
 deterministic per seed.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
 
 from repro.errors import SimulationError
-from repro.obs.trace import NULL_TRACER, Tracer
+from repro.obs.trace import NULL_TRACER, Span, Tracer
 from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class ProbeReply:
+    """One successful probe from a :meth:`Network.gather` call."""
+
+    site: int
+    value: Any
+    completed_at: float
+
+
+@dataclass(frozen=True)
+class GatherResult:
+    """Outcome of a batched :meth:`Network.gather` round.
+
+    ``replies`` holds the successful probes in deterministic completion
+    order — (completion time, site id) — while ``attempted`` preserves
+    launch order, which matches the order the serial reference path
+    would have visited the same sites.
+    """
+
+    replies: tuple[ProbeReply, ...]
+    attempted: tuple[int, ...]
+    failed: frozenset[int]
+
+    @property
+    def responders(self) -> frozenset[int]:
+        """Sites whose round trip fully completed."""
+        return frozenset(reply.site for reply in self.replies)
+
+    def in_attempt_order(self) -> tuple[ProbeReply, ...]:
+        """Replies reordered by launch (visit) order.
+
+        This is the order in which the serial reference path would have
+        observed the same responses, so callers that fold over replies
+        (log merging, snapshot election) stay byte-compatible with it.
+        """
+        by_site = {reply.site: reply for reply in self.replies}
+        return tuple(
+            by_site[site] for site in self.attempted if site in by_site
+        )
 
 
 class Timeout(Exception):
@@ -38,6 +90,9 @@ class Timeout(Exception):
 class Network:
     """Crash, partition, and loss state for a fixed universe of sites."""
 
+    #: Valid values for the front-end RPC dispatch mode.
+    RPC_MODES = ("batched", "serial")
+
     def __init__(
         self,
         sim: Simulator,
@@ -46,15 +101,24 @@ class Network:
         drop_probability: float = 0.0,
         *,
         tracer: Tracer | None = None,
+        rpc_mode: str = "batched",
     ):
         if n_sites <= 0:
             raise SimulationError("network needs at least one site")
         if not 0.0 <= drop_probability < 1.0:
             raise SimulationError("drop probability must be in [0, 1)")
+        if rpc_mode not in self.RPC_MODES:
+            raise SimulationError(
+                f"rpc_mode must be one of {self.RPC_MODES}, got {rpc_mode!r}"
+            )
         self.sim = sim
         self.n_sites = n_sites
         self.latency = latency
         self.drop_probability = drop_probability
+        #: How front-ends issue quorum probes: ``"batched"`` overlaps
+        #: them through :meth:`gather`; ``"serial"`` is the one-at-a-time
+        #: reference path via :meth:`request`.
+        self.rpc_mode = rpc_mode
         #: Span/event sink; defaults to the simulator's (usually null).
         self.tracer = tracer if tracer is not None else sim.tracer
         self._crashed: set[int] = set()
@@ -135,21 +199,146 @@ class Network:
         Each round trip is one ``rpc`` span (homed at the destination
         repository) when tracing is on.
         """
-        with self.tracer.span("rpc", kind="rpc", site=dst, src=src, dst=dst):
-            self.messages_sent += 1
-            self.sim.advance(self.latency)
-            self.sim.drain()  # apply failures due while the message travelled
+        if self.tracer.enabled:
+            with self.tracer.span("rpc", kind="rpc", site=dst, src=src, dst=dst):
+                return self._round_trip(src, dst, handler)
+        return self._round_trip(src, dst, handler)
+
+    def _round_trip(self, src: int, dst: int, handler: Callable[[], Any]) -> Any:
+        self.messages_sent += 1
+        self.sim.advance(self.latency)
+        self.sim.drain()  # apply failures due while the message travelled
+        if not self.reachable(src, dst) or self._lost():
+            self.messages_dropped += 1
+            raise Timeout(dst)
+        result = handler()
+        self.messages_sent += 1
+        self.sim.advance(self.latency)
+        self.sim.drain()
+        if not self.reachable(dst, src) or self._lost():
+            self.messages_dropped += 1
+            raise Timeout(dst)
+        return result
+
+    def gather(
+        self,
+        src: int,
+        dsts: Iterable[int],
+        handler: Callable[[int], Any],
+        *,
+        stop: Callable[[frozenset[int]], bool] | None = None,
+    ) -> GatherResult:
+        """Batched RPC: probe ``dsts`` with overlapping latencies.
+
+        Probes are launched in waves.  A wave is the shortest prefix of
+        the remaining destinations that would satisfy ``stop`` if every
+        probe in it succeeded (all of them when ``stop`` is ``None``);
+        its probes share one request leg and one reply leg of simulated
+        latency, so a wave costs two latencies of simulated time no
+        matter how wide it is.  When some probes fail, the next wave
+        extends to further destinations, exactly as the serial walk
+        would have — under a failure state that is stable for the
+        duration of the call (and no message loss), the attempted site
+        set and the message counters match the serial reference path.
+
+        Per-probe semantics mirror :meth:`request`: the request leg is
+        checked against crash/partition/loss state at arrival time (so
+        failures due while the message travelled apply first), the
+        handler runs at the destination at arrival time, and its side
+        effects survive a lost reply leg.  Each probe is one ``rpc``
+        span when tracing is on, with the handler's own events parented
+        beneath it.
+        """
+        order = list(dsts)
+        sim = self.sim
+        traced = self.tracer.enabled
+        responders: set[int] = set()
+        failed: set[int] = set()
+        attempted: list[int] = []
+        replies: dict[int, ProbeReply] = {}
+        idx = 0
+        while idx < len(order):
+            if stop is not None and stop(frozenset(responders)):
+                break
+            wave: list[int] = []
+            assumed = set(responders)
+            while idx < len(order):
+                site = order[idx]
+                idx += 1
+                wave.append(site)
+                assumed.add(site)
+                if stop is not None and stop(frozenset(assumed)):
+                    break
+            arrive_at = sim.now + self.latency
+            reply_at = arrive_at + self.latency
+            for site in wave:
+                attempted.append(site)
+                self.messages_sent += 1
+                span = (
+                    self.tracer.start_span(
+                        "rpc", kind="rpc", site=site, src=src, dst=site, batched=True
+                    )
+                    if traced
+                    else None
+                )
+                sim.schedule_at(
+                    arrive_at,
+                    self._probe(src, site, handler, span, reply_at, replies, failed),
+                )
+            # One pass dispatches both legs: request arrivals at
+            # ``arrive_at`` run first (after any failure events due in
+            # the window) and schedule their replies at ``reply_at``.
+            sim.run(until=reply_at)
+            responders.update(site for site in wave if site in replies)
+        ordered = tuple(
+            sorted(replies.values(), key=lambda reply: (reply.completed_at, reply.site))
+        )
+        return GatherResult(
+            replies=ordered, attempted=tuple(attempted), failed=frozenset(failed)
+        )
+
+    def _probe(
+        self,
+        src: int,
+        dst: int,
+        handler: Callable[[int], Any],
+        span: Span | None,
+        reply_at: float,
+        replies: dict[int, ProbeReply],
+        failed: set[int],
+    ) -> Callable[[], None]:
+        """Build the request-leg arrival callback for one gather probe."""
+
+        def arrive() -> None:
             if not self.reachable(src, dst) or self._lost():
                 self.messages_dropped += 1
-                raise Timeout(dst)
-            result = handler()
+                failed.add(dst)
+                if span is not None:
+                    self.tracer.end_span(span, outcome="timeout")
+                return
+            if span is not None:
+                with self.tracer.under(span):
+                    value = handler(dst)
+            else:
+                value = handler(dst)
             self.messages_sent += 1
-            self.sim.advance(self.latency)
-            self.sim.drain()
-            if not self.reachable(dst, src) or self._lost():
-                self.messages_dropped += 1
-                raise Timeout(dst)
-            return result
+
+            def deliver() -> None:
+                if not self.reachable(dst, src) or self._lost():
+                    self.messages_dropped += 1
+                    failed.add(dst)
+                    if span is not None:
+                        self.tracer.end_span(span, outcome="timeout")
+                    return
+                replies[dst] = ProbeReply(
+                    site=dst, value=value, completed_at=self.sim.now
+                )
+                if span is not None:
+                    self.tracer.end_span(span)
+
+            self.sim.schedule_at(reply_at, deliver)
+
+        return arrive
 
     def send(self, src: int, dst: int, deliver: Callable[[], None]) -> None:
         """Asynchronous one-way message through the event queue."""

@@ -1,0 +1,545 @@
+"""Throughput-engine tests: kernel hot path, batched fan-out, view
+cache, and trial sharding (PR 4).
+
+The load-bearing property throughout is *determinism equality*: the
+batched RPC path (``Network.gather`` + the incremental view-merge
+cache) and the parallel trial shards must produce byte-identical
+behavioral histories, message counters, outcome counts, and
+availability numbers to the serial reference paths.  Equality between
+serial and batched fan-out is exact when the failure state is stable
+while an operation is in flight and no messages are randomly dropped —
+so these tests drive failures *between* workload segments (crash,
+partition, heal, recover applied at segment boundaries), which is also
+how the availability benchmarks use the fast path.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.clocks.timestamps import Timestamp
+from repro.dependency import known
+from repro.errors import SimulationError
+from repro.histories.events import event
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_SPAN_CONTEXT,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+)
+from repro.quorum.coterie import ThresholdCoterie
+from repro.replication.cluster import build_cluster
+from repro.replication.log import Log, LogEntry
+from repro.replication.snapshot import compact
+from repro.replication.viewcache import QuorumViewCache
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network, ProbeReply
+from repro.sim.trials import run_trials, seed_range
+from repro.sim.workload import OperationMix, WorkloadGenerator
+from repro.txn.ids import ActionId
+from repro.types import Queue
+
+pytestmark = pytest.mark.throughput
+
+
+# -- kernel hot path ----------------------------------------------------------
+
+
+def _brute_force_pending(sim: Simulator) -> int:
+    """The O(n) scan ``Simulator.pending`` used to be."""
+    return sum(1 for scheduled in sim._queue if not scheduled.cancelled)
+
+
+class TestPendingCounter:
+    def test_agrees_with_brute_force_through_mixed_sequences(self):
+        sim = Simulator(seed=5)
+        handles = []
+        for step in range(400):
+            choice = sim.rng.random()
+            if choice < 0.5:
+                handles.append(sim.schedule(sim.rng.random() * 10, lambda: None))
+            elif choice < 0.8 and handles:
+                sim.cancel(handles[sim.rng.randrange(len(handles))])
+            else:
+                sim.run(until=sim.now + sim.rng.random() * 3)
+            assert sim.pending == _brute_force_pending(sim)
+        sim.run()
+        assert sim.pending == _brute_force_pending(sim) == 0
+
+    def test_cancel_after_dispatch_is_a_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.pending == 0
+        sim.cancel(handle)  # already ran: must not drive the counter negative
+        assert sim.pending == 0
+        sim.schedule(1.0, lambda: None)
+        assert sim.pending == 1
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        other = sim.schedule(2.0, lambda: None)
+        sim.cancel(handle)
+        sim.cancel(handle)
+        assert sim.pending == 1
+        assert _brute_force_pending(sim) == 1
+        sim.cancel(other)
+        assert sim.pending == 0
+
+
+class TestHeapCompaction:
+    def test_cancelling_ten_thousand_events_bounds_the_queue(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10_000)]
+        assert len(sim._queue) == 10_000
+        for handle in handles:
+            sim.cancel(handle)
+        # Without compaction all 10k tombstones would sit in the heap
+        # until popped; with it the queue ends (essentially) empty.
+        assert sim.pending == 0
+        assert len(sim._queue) < 64
+        assert sim.run() == 0
+
+    def test_queue_stays_proportional_to_live_events(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        for i in range(10_000):
+            handle = sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+            if i % 10 == 0:
+                keep.append(i)
+            else:
+                sim.cancel(handle)
+        # 1000 live events; tombstones never exceed half the queue.
+        assert sim.pending == 1_000
+        assert len(sim._queue) <= 2 * 1_000 + 64
+        sim.run()
+        assert fired == keep  # survivors dispatch in time order
+
+    def test_compaction_preserves_dispatch_order(self):
+        sim = Simulator(seed=3)
+        fired = []
+        live = {}
+        for i in range(2_000):
+            live[i] = sim.schedule(sim.rng.random() * 50, lambda i=i: fired.append(i))
+        for i in range(0, 2_000, 2):
+            sim.cancel(live[i])
+        sim.run()
+        expected = sorted(
+            (i for i in range(1, 2_000, 2)),
+            key=lambda i: (live[i].time, live[i].seq),
+        )
+        assert fired == expected
+
+
+# -- null tracer fast path ----------------------------------------------------
+
+
+class TestNullSpanFastPath:
+    def test_span_returns_the_shared_singleton(self):
+        assert NULL_TRACER.span("a", kind="rpc") is NULL_SPAN_CONTEXT
+        assert NULL_TRACER.span("b", site=2) is NULL_TRACER.span("c")
+        assert NullTracer().span("d") is NULL_SPAN_CONTEXT
+        with NULL_TRACER.span("e") as span:
+            assert span is NULL_SPAN
+        assert NULL_TRACER.under(NULL_SPAN) is NULL_SPAN_CONTEXT
+
+    def test_disabled_spans_do_not_allocate(self):
+        tracer = NullTracer()
+        for _ in range(64):  # warm any lazy caches
+            with tracer.span("warm", kind="rpc", site=0):
+                pass
+        before = sys.getallocatedblocks()
+        for _ in range(10_000):
+            with tracer.span("hot", kind="rpc", site=0, src=0, dst=1):
+                pass
+        after = sys.getallocatedblocks()
+        # Transient kwargs dicts are freed immediately; nothing may be
+        # retained per call (the old per-instance context was, at least,
+        # one allocation per tracer — this pins zero per *call*).
+        assert after - before < 50
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("op", kind="operation"):
+            tracer.event("repo.read", site=0)
+        assert tracer.spans == ()
+
+
+# -- Network.gather -----------------------------------------------------------
+
+
+def _fabric(n_sites: int = 3, latency: float = 1.0, **kw) -> Network:
+    sim = Simulator(seed=0)
+    return Network(sim, n_sites, latency=latency, **kw)
+
+
+class TestGather:
+    def test_probes_overlap_and_complete_in_site_order(self):
+        network = _fabric()
+        outcome = network.gather(0, [2, 0, 1], lambda site: site * 10)
+        assert outcome.attempted == (2, 0, 1)
+        assert [reply.site for reply in outcome.replies] == [0, 1, 2]
+        assert [reply.value for reply in outcome.in_attempt_order()] == [20, 0, 10]
+        assert all(reply.completed_at == 2.0 for reply in outcome.replies)
+        assert network.sim.now == 2.0  # one wave: two latencies total
+        assert network.messages_sent == 6
+        assert network.messages_dropped == 0
+
+    def test_stop_limits_the_wave_to_a_minimal_prefix(self):
+        network = _fabric()
+        coterie = ThresholdCoterie(3, 2)
+        outcome = network.gather(
+            0, [0, 1, 2], lambda site: site, stop=coterie.has_quorum
+        )
+        assert outcome.attempted == (0, 1)
+        assert outcome.responders == frozenset({0, 1})
+        assert network.messages_sent == 4
+
+    def test_failed_probe_widens_the_next_wave(self):
+        network = _fabric()
+        network.crash(1)
+        coterie = ThresholdCoterie(3, 2)
+        outcome = network.gather(
+            0, [0, 1, 2], lambda site: site, stop=coterie.has_quorum
+        )
+        assert outcome.attempted == (0, 1, 2)
+        assert outcome.responders == frozenset({0, 2})
+        assert outcome.failed == frozenset({1})
+        # Two waves of two latencies each.
+        assert network.sim.now == 4.0
+
+    def test_message_counters_match_the_serial_walk_under_crashes(self):
+        for crashed in (set(), {1}, {0, 1}, {2}):
+            batched = _fabric(n_sites=4)
+            serial = _fabric(n_sites=4)
+            for site in crashed:
+                batched.crash(site)
+                serial.crash(site)
+            coterie = ThresholdCoterie(4, 2)
+            outcome = batched.gather(
+                0, [0, 1, 2, 3], lambda site: site, stop=coterie.has_quorum
+            )
+            responders: set[int] = set()
+            for site in [0, 1, 2, 3]:
+                if coterie.has_quorum(frozenset(responders)):
+                    break
+                try:
+                    serial.request(0, site, lambda s=site: s)
+                except Exception:
+                    continue
+                responders.add(site)
+            assert outcome.responders == frozenset(responders)
+            assert batched.messages_sent == serial.messages_sent, crashed
+            assert batched.messages_dropped == serial.messages_dropped, crashed
+
+    def test_handler_side_effects_survive_a_lost_reply(self):
+        network = _fabric()
+        ran = []
+        # The reply leg fails if the caller's site goes down while the
+        # reply is in flight (request arrives at t=1, reply lands at t=2).
+        network.sim.schedule(1.5, lambda: network.crash(0))
+        outcome = network.gather(0, [1], lambda site: ran.append(site))
+        assert ran == [1]  # the handler ran at the repository
+        assert outcome.replies == ()
+        assert outcome.failed == frozenset({1})
+        assert network.messages_sent == 2
+        assert network.messages_dropped == 1
+
+    def test_stop_none_probes_every_destination(self):
+        network = _fabric(n_sites=5)
+        outcome = network.gather(0, range(5), lambda site: site)
+        assert outcome.attempted == (0, 1, 2, 3, 4)
+        assert network.sim.now == 2.0  # still a single overlapped wave
+
+    def test_rpc_mode_is_validated(self):
+        with pytest.raises(SimulationError):
+            _fabric(rpc_mode="overlapped")
+
+    def test_gather_emits_rpc_spans_like_the_serial_path(self):
+        tracer = Tracer()
+        sim = Simulator(seed=0, tracer=tracer)
+        tracer.bind_clock(sim)
+        network = Network(sim, 3, tracer=tracer)
+        network.crash(2)
+        network.gather(0, [0, 1, 2], lambda site: site)
+        spans = [span for span in tracer.spans if span.kind == "rpc"]
+        assert [span.site for span in spans] == [0, 1, 2]
+        assert [span.outcome for span in spans] == ["ok", "ok", "timeout"]
+        assert all(span.start == 0.0 for span in spans)
+        assert spans[0].end == 2.0 and spans[2].end == 1.0
+
+
+# -- the incremental view-merge cache -----------------------------------------
+
+
+def _entry(seq: int) -> LogEntry:
+    return LogEntry(Timestamp(seq, 0), event("Enq", (seq,)), ActionId(seq, 0))
+
+
+def _probe(site: int, log: Log, version: int, snapshot=None) -> ProbeReply:
+    return ProbeReply(site=site, value=(log, snapshot, version), completed_at=0.0)
+
+
+class TestQuorumViewCache:
+    def test_unchanged_quorum_is_a_pure_hit(self):
+        cache = QuorumViewCache()
+        log = Log([_entry(1), _entry(2)])
+        probes = (_probe(0, log, 1), _probe(1, Log([_entry(1)]), 1))
+        first, _ = cache.merged_view("q", probes)
+        second, _ = cache.merged_view("q", probes)
+        assert second is first  # identity: lazy order caches carry over
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["rebuilds"] == 1
+
+    def test_changed_fragment_merges_only_the_delta(self):
+        cache = QuorumViewCache()
+        base = Log([_entry(1)])
+        cache.merged_view("q", (_probe(0, base, 1), _probe(1, base, 1)))
+        grown = base.add(_entry(2))
+        merged, _ = cache.merged_view("q", (_probe(0, grown, 2), _probe(1, base, 1)))
+        assert merged == Log([_entry(1), _entry(2)])
+        assert cache.stats()["delta_merges"] == 1
+
+    def test_different_responder_set_rebuilds(self):
+        cache = QuorumViewCache()
+        log = Log([_entry(1)])
+        cache.merged_view("q", (_probe(0, log, 1), _probe(1, log, 1)))
+        cache.merged_view("q", (_probe(0, log, 1), _probe(2, log, 1)))
+        assert cache.stats()["rebuilds"] == 2
+
+    def test_write_through_keeps_the_union_exact(self):
+        cache = QuorumViewCache()
+        base = Log([_entry(1)])
+        cache.merged_view("q", (_probe(0, base, 1), _probe(1, base, 1)))
+        update = base.add(_entry(2))
+        cache.note_write("q", update, ((0, 1, 2), (1, 1, 2)))
+        assert cache.stats()["write_throughs"] == 1
+        merged, _ = cache.merged_view(
+            "q", (_probe(0, update, 2), _probe(1, update, 2))
+        )
+        assert merged == update
+        assert cache.stats()["hits"] == 1  # the write refreshed the versions
+
+    def test_interleaved_writer_invalidates_instead_of_corrupting(self):
+        cache = QuorumViewCache()
+        base = Log([_entry(1)])
+        cache.merged_view("q", (_probe(0, base, 1), _probe(1, base, 1)))
+        update = base.add(_entry(2))
+        # Site 0 reports version_before=2: someone else wrote between our
+        # read (version 1) and this write.  The cached union can no longer
+        # be extended soundly, so the entry must be dropped.
+        cache.note_write("q", update, ((0, 2, 3), (1, 1, 2)))
+        assert cache.stats()["write_throughs"] == 0
+        interloper = base.add(_entry(99))
+        merged, _ = cache.merged_view(
+            "q",
+            (_probe(0, interloper.merge(update), 3), _probe(1, update, 2)),
+        )
+        assert merged == interloper.merge(update)
+        assert cache.stats()["rebuilds"] == 2
+
+    def test_snapshot_change_forces_rebuild(self):
+        cache = QuorumViewCache()
+
+        class Snap:
+            def __init__(self, dropped):
+                self.dropped = frozenset(dropped)
+
+            def subsumes(self, other):
+                return other is None or self.dropped >= other.dropped
+
+        log = Log([_entry(1), _entry(2)])
+        snap = Snap({ActionId(1, 0)})
+        merged, best = cache.merged_view(
+            "q", (_probe(0, log, 1, snap), _probe(1, log, 1, snap))
+        )
+        assert best is snap
+        assert merged == Log([_entry(2)])
+        # Same versions but a *new* snapshot object: identity check fails,
+        # the cache rebuilds rather than resurrecting dropped entries.
+        wider = Snap({ActionId(1, 0), ActionId(2, 0)})
+        merged, best = cache.merged_view(
+            "q", (_probe(0, Log([_entry(2)]), 2, wider), _probe(1, log, 1, snap))
+        )
+        assert best is wider
+        assert merged == Log()
+        assert cache.stats()["rebuilds"] == 2
+
+
+# -- serial vs batched determinism, end to end --------------------------------
+
+
+def _fingerprint(cluster, metrics, objects=("queue",)):
+    histories = {
+        name: str(cluster.tm.object(name).recorder.to_behavioral_history())
+        for name in objects
+    }
+    return {
+        "histories": histories,
+        "outcomes": dict(metrics.outcomes),
+        "messages_sent": cluster.network.messages_sent,
+        "messages_dropped": cluster.network.messages_dropped,
+        "availability": {
+            op: metrics.availability(op)
+            for op in sorted({op for op, _ in metrics.outcomes})
+        },
+    }
+
+
+def _queue_cluster(mode: str, seed: int, n_sites: int = 3, tracer=None):
+    cluster = build_cluster(n_sites, seed=seed, rpc_mode=mode, tracer=tracer)
+    queue = Queue()
+    relation = known.ground(queue, known.QUEUE_STATIC, 5)
+    cluster.add_object("queue", queue, "hybrid", relation=relation)
+    generator = WorkloadGenerator(
+        cluster.sim,
+        cluster.tm,
+        cluster.frontends,
+        OperationMix.uniform("queue", queue.invocations()),
+        ops_per_transaction=2,
+        concurrency=3,
+    )
+    return cluster, generator
+
+
+class TestSerialBatchedEquality:
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_clean_run_is_byte_identical(self, seed):
+        prints = {}
+        for mode in ("serial", "batched"):
+            cluster, generator = _queue_cluster(mode, seed)
+            metrics = generator.run(40)
+            prints[mode] = _fingerprint(cluster, metrics)
+        assert prints["serial"] == prints["batched"]
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_failures_between_segments_are_byte_identical(self, seed):
+        prints = {}
+        for mode in ("serial", "batched"):
+            cluster, generator = _queue_cluster(mode, seed, n_sites=5)
+            generator.run(15)
+            cluster.network.crash(1)
+            generator.run(15)
+            cluster.network.partition({0, 1, 2}, {3, 4})
+            generator.run(15)
+            cluster.network.heal()
+            cluster.network.recover(1)
+            metrics = generator.run(15)
+            prints[mode] = _fingerprint(cluster, metrics)
+        assert prints["serial"] == prints["batched"]
+
+    def test_compaction_mid_run_is_byte_identical(self, ):
+        prints = {}
+        for mode in ("serial", "batched"):
+            cluster, generator = _queue_cluster(mode, seed=2)
+            generator.run(25)
+            obj = cluster.tm.object("queue")
+            snapshot = compact(
+                cluster.network, cluster.repositories, obj, cluster.tm
+            )
+            assert snapshot is not None
+            metrics = generator.run(25)
+            prints[mode] = _fingerprint(cluster, metrics)
+        assert prints["serial"] == prints["batched"]
+
+    def test_batched_run_is_strictly_faster_in_simulated_time(self):
+        times = {}
+        for mode in ("serial", "batched"):
+            cluster, generator = _queue_cluster(mode, seed=4)
+            generator.run(40)
+            times[mode] = cluster.sim.now
+        assert times["batched"] < times["serial"]
+
+    def test_traced_batched_run_keeps_span_structure(self):
+        tracer = Tracer()
+        cluster, generator = _queue_cluster("batched", seed=6, tracer=tracer)
+        generator.run(20)
+        by_id = {span.span_id: span for span in tracer.spans}
+        kinds = {"transaction": 0, "operation": 0, "quorum": 0, "rpc": 0}
+        for span in tracer.finished_spans():
+            if span.kind not in kinds:
+                continue
+            kinds[span.kind] += 1
+            if span.kind == "rpc":
+                parent = by_id[span.parent_id]
+                assert parent.kind == "quorum"
+                assert parent.start <= span.start
+                assert span.end is not None and span.end <= parent.end
+            if span.kind == "quorum" and span.outcome == "ok":
+                assert "quorum" in span.attrs
+        assert all(count > 0 for count in kinds.values())
+
+    def test_view_cache_is_exercised_by_the_batched_run(self):
+        cluster, generator = _queue_cluster("batched", seed=9)
+        generator.run(40)
+        totals = {"hits": 0, "delta_merges": 0, "rebuilds": 0, "write_throughs": 0}
+        for frontend in cluster.frontends:
+            for key, value in frontend.view_cache.stats().items():
+                totals[key] += value
+        assert totals["hits"] + totals["delta_merges"] > 0
+        assert totals["write_throughs"] > 0
+        # The serial reference path must never touch a cache.
+        cluster, generator = _queue_cluster("serial", seed=9)
+        generator.run(10)
+        for frontend in cluster.frontends:
+            assert frontend.view_cache.stats() == {
+                "hits": 0,
+                "delta_merges": 0,
+                "rebuilds": 0,
+                "write_throughs": 0,
+            }
+
+
+# -- trial sharding -----------------------------------------------------------
+
+
+def _availability_trial(seed: int):
+    """One small Monte Carlo availability trial (module-level: picklable)."""
+    cluster, generator = _queue_cluster("batched", seed)
+    metrics = generator.run(12)
+    print_ = _fingerprint(cluster, metrics)
+    return seed, print_
+
+
+class TestTrialSharding:
+    def test_results_come_back_in_seed_order(self):
+        seeds = [5, 1, 9, 3]
+        results, _ = run_trials(_availability_trial, seeds, jobs=1)
+        assert [seed for seed, _ in results] == seeds
+
+    def test_one_job_and_n_jobs_are_byte_identical(self):
+        seeds = list(seed_range(0, 4))
+        serial_results, serial_parallel = run_trials(
+            _availability_trial, seeds, jobs=1
+        )
+        sharded_results, sharded_parallel = run_trials(
+            _availability_trial, seeds, jobs=2
+        )
+        assert serial_parallel is False
+        assert serial_results == sharded_results
+        # sharded_parallel is True only when a pool really ran; either
+        # way the results must match — that is the honesty contract.
+        assert isinstance(sharded_parallel, bool)
+
+    def test_repro_jobs_environment_is_honored(self, monkeypatch):
+        seeds = [0, 1]
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        env_results, _ = run_trials(_availability_trial, seeds)
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        serial_results, used = run_trials(_availability_trial, seeds)
+        assert used is False
+        assert env_results == serial_results
+
+    def test_unpicklable_trial_falls_back_to_serial(self):
+        captured = {"note": "unpicklable closure state"}
+        results, parallel_used = run_trials(
+            lambda seed: (seed, captured["note"]), [1, 2, 3], jobs=4
+        )
+        assert parallel_used is False
+        assert results == [(1, captured["note"]), (2, captured["note"]),
+                           (3, captured["note"])]
