@@ -15,7 +15,9 @@ Typical entry points:
 * quorum math: :mod:`repro.quorum`;
 * the running system: :mod:`repro.replication.cluster`,
   :mod:`repro.sim.workload`;
-* observability (tracing, metrics, profiling): :mod:`repro.obs`.
+* observability (tracing, metrics, profiling): :mod:`repro.obs`;
+* resilience (retry policies, crash recovery, chaos sweeps):
+  :mod:`repro.resilience`.
 
 The running system's principals — :class:`Simulator`, :class:`Network`,
 :class:`Repository`, :class:`FrontEnd`, :class:`TransactionManager` —
@@ -45,6 +47,12 @@ from repro.obs.profile import KernelProfiler
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, TraceListener, Tracer
 from repro.quorum.assignment import QuorumAssignment
 from repro.replication.cluster import Cluster, build_cluster
+from repro.resilience.policy import (
+    POLICIES,
+    Deadline,
+    OperationResult,
+    RetryPolicy,
+)
 from repro.replication.frontend import FrontEnd
 from repro.replication.repository import Repository
 from repro.replication.viewcache import QuorumViewCache
@@ -95,5 +103,9 @@ __all__ = [
     "Auditor",
     "AuditReport",
     "Violation",
+    "RetryPolicy",
+    "Deadline",
+    "OperationResult",
+    "POLICIES",
     "__version__",
 ]

@@ -14,6 +14,10 @@ Subcommands:
   (live history capture + invariant monitors); exits non-zero when any
   invariant is violated.  ``--mutate`` seeds a protocol mutation the
   auditor must flag; ``--sweep`` runs the full fault-injection matrix.
+* ``chaos``   — seeded chaos sweep: composed crash/partition/churn
+  fault schedules over the resilience layer (retry policies, crash
+  recovery, heal-triggered anti-entropy), every run audited; emits a
+  JSON verdict table and exits non-zero unless every case is clean.
 * ``cache``   — administer the persistent kernel-artifact cache:
   ``stats`` (traffic + disk usage), ``warm`` (pre-derive the standard
   catalog, optionally in parallel), ``clear``.
@@ -245,6 +249,65 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_table(verdict: dict) -> str:
+    """Fixed-width rendering of a chaos-sweep verdict."""
+    header = (
+        f"{'profile':<10} {'policy':<10} {'runs':>4} {'faults':>6} "
+        f"{'att':>5} {'ok':>5} {'degr':>5} {'unav':>5} {'abort':>5} "
+        f"{'viol':>4} {'rec p50':>8} {'rec p95':>8} verdict"
+    )
+    lines = [header, "-" * len(header)]
+    for profile, policies in verdict["profiles"].items():
+        for policy, row in policies.items():
+            lines.append(
+                f"{profile:<10} {policy:<10} {row['runs']:>4} "
+                f"{row['faults_applied']:>6} {row['attempted']:>5} "
+                f"{row['succeeded']:>5} {row['degraded']:>5} "
+                f"{row['unavailable']:>5} {row['aborted_ops']:>5} "
+                f"{row['violations']:>4} "
+                f"{row['recovery_latency_p50']:>8.1f} "
+                f"{row['recovery_latency_p95']:>8.1f} "
+                f"{'PASS' if row['ok'] else 'FAIL'}"
+            )
+    lines.append(
+        "sweep: "
+        + ("all cases clean" if verdict["ok"] else "CASES FAILED")
+        + f" (seeds {verdict['seeds']}, {verdict['transactions']} txns/case, "
+        f"rpc_mode {verdict['rpc_mode']})"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience.chaos import PROFILES, run_chaos_sweep
+    from repro.resilience.policy import POLICIES
+
+    profiles = tuple(PROFILES) if args.profile is None else (args.profile,)
+    policies = (
+        tuple(POLICIES) if args.policies is None else tuple(args.policies)
+    )
+    for name in policies:
+        if name not in POLICIES:
+            raise SystemExit(
+                f"python -m repro chaos: unknown policy {name!r} "
+                f"(choose from {', '.join(sorted(POLICIES))})"
+            )
+    verdict = run_chaos_sweep(
+        seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        profiles=profiles,
+        policies=policies,
+        rpc_mode=args.rpc_mode,
+        n_sites=args.sites,
+        transactions=args.transactions,
+        jobs=args.jobs,
+    )
+    if args.format == "json":
+        _emit(json.dumps(verdict, indent=2, sort_keys=True), args.output)
+    else:
+        _emit(_chaos_table(verdict), args.output)
+    return 0 if verdict["ok"] else 1
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.compute import (
         default_cache,
@@ -455,6 +518,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", "-o", default=None, help="write to a file instead of stdout"
     )
     bench.set_defaults(func=_cmd_bench)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run the audited chaos sweep over composed fault schedules",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="first sweep seed")
+    chaos.add_argument(
+        "--seeds",
+        type=int,
+        default=4,
+        metavar="N",
+        help="number of consecutive seeds per (profile, policy) cell "
+        "(default: 4)",
+    )
+    chaos.add_argument(
+        "--profile",
+        # Kept literal so parser construction stays import-light; guarded
+        # against drift from repro.resilience.chaos.PROFILES by test_cli.
+        choices=("crash", "partition", "churn", "mixed"),
+        default=None,
+        help="restrict to one fault profile (default: all four)",
+    )
+    chaos.add_argument(
+        "--policies",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="retry policies to sweep (default: every built-in policy)",
+    )
+    chaos.add_argument(
+        "--sites", type=int, default=5, help="repository sites (default: 5)"
+    )
+    chaos.add_argument(
+        "--transactions",
+        type=int,
+        default=16,
+        help="transactions per case (default: 16)",
+    )
+    chaos.add_argument(
+        "--rpc-mode",
+        choices=("batched", "serial"),
+        default="batched",
+        help="front-end quorum assembly mode (default: batched)",
+    )
+    chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard each cell's seeds across N processes "
+        "(default: REPRO_JOBS, else serial)",
+    )
+    chaos.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="json",
+        help="verdict rendering (default: json)",
+    )
+    chaos.add_argument(
+        "--output", "-o", default=None, help="write to a file instead of stdout"
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     cache = subparsers.add_parser(
         "cache", help="administer the persistent kernel-artifact cache"

@@ -50,6 +50,31 @@ class UnavailableError(ReproError):
         self.missing = missing
 
 
+class DegradedOperation(ReproError):
+    """A read-only operation fell back to read-quorum-only degraded mode.
+
+    Raised by :meth:`FrontEnd.execute` when the final quorum stayed
+    unreachable through every retry but the operation's
+    :class:`~repro.resilience.policy.RetryPolicy` enables
+    ``degraded_reads`` and the operation never mutates state: the
+    response is legal for the merged initial-quorum view but was *not*
+    logged and is not part of the transaction.  Deliberately an
+    exception on the plain :meth:`execute` path so a degraded result can
+    never be mistaken for a replicated one; callers that opt in use
+    :meth:`FrontEnd.execute_outcome`, which converts it into an explicit
+    :class:`~repro.resilience.policy.OperationResult`.
+    """
+
+    def __init__(self, operation: str, response, attempts: int = 1):
+        super().__init__(
+            f"operation {operation!r} served in degraded read-quorum-only "
+            f"mode after {attempts} final-quorum attempt(s)"
+        )
+        self.operation = operation
+        self.response = response
+        self.attempts = attempts
+
+
 class TransactionError(ReproError):
     """Base class for transaction-level failures."""
 

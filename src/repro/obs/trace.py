@@ -40,6 +40,10 @@ _OUTCOME_BY_EXCEPTION = {
     "UnavailableError": "unavailable",
     "ConflictError": "conflict",
     "TransactionAborted": "aborted",
+    # Read-quorum-only fallback (repro.resilience): the span closes
+    # "degraded", which history-capture monitors deliberately skip —
+    # a degraded read is outside the transaction's logged history.
+    "DegradedOperation": "degraded",
 }
 
 

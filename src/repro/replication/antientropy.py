@@ -25,7 +25,19 @@ from repro.sim.network import Network, Timeout
 
 
 class AntiEntropy:
-    """Periodic pairwise log exchange between repositories."""
+    """Periodic pairwise log exchange between repositories.
+
+    Args:
+        network: the fabric exchanges travel (and whose reachability
+            gates them).
+        repositories: the replica set to reconcile, indexed by site.
+        interval: simulated time between background rounds.
+
+    Counters: ``rounds`` (background ticks), ``exchanges`` (completed
+    bidirectional syncs), ``skipped`` (rounds whose drawn pair was
+    unreachable — crashed or across an active partition cut — and was
+    therefore not attempted at all).
+    """
 
     def __init__(
         self,
@@ -38,26 +50,49 @@ class AntiEntropy:
         self.interval = interval
         self.rounds = 0
         self.exchanges = 0
+        self.skipped = 0
 
     def install(self) -> None:
-        """Schedule the periodic reconciliation process."""
+        """Schedule the periodic reconciliation process on the simulator.
+
+        Each round draws a random site pair from the simulator's seeded
+        RNG, so the reconciliation schedule is reproducible per seed.
+        """
         self.network.sim.schedule(self.interval, self._round)
 
     def _round(self) -> None:
+        """One background tick: draw a pair, sync it if connected.
+
+        Partition-aware: a pair that cannot currently reach each other
+        (either side crashed, or an active cut between them) is skipped
+        without sending anything — previously the exchange was attempted
+        across the cut and burned a timed-out request per round.  The
+        RNG draw happens either way, so enabling or suffering partitions
+        never shifts the seeded schedule of later rounds.
+        """
         self.rounds += 1
         sim = self.network.sim
         n = len(self.repositories)
         if n >= 2:
             first = sim.rng.randrange(n)
             second = (first + 1 + sim.rng.randrange(n - 1)) % n
-            self.synchronize(first, second)
+            if self.network.reachable(first, second):
+                self.synchronize(first, second)
+            else:
+                self.skipped += 1
         sim.schedule(self.interval, self._round)
 
     def synchronize(self, first: int, second: int) -> bool:
         """One bidirectional exchange; returns ``True`` if it completed.
 
-        Each direction is a normal network request and can time out;
-        a half-completed exchange is harmless (merge is monotone).
+        Args:
+            first: the site driving the exchange (requests originate here).
+            second: the peer site being reconciled with.
+
+        Each direction is a normal network request and can time out
+        (crash, partition, or message loss on the fabric); a
+        half-completed exchange is harmless (merge is monotone), and a
+        timeout simply returns ``False`` — never raises.
         """
         repo_a, repo_b = self.repositories[first], self.repositories[second]
         try:

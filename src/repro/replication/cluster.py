@@ -46,9 +46,59 @@ class Cluster:
     def n_sites(self) -> int:
         return len(self.repositories)
 
+    #: The active resilience bundle, set by :meth:`enable_resilience`.
+    resilience: object | None = None
+
     @property
     def profiler(self) -> KernelProfiler | None:
         return self.sim.profiler
+
+    def enable_resilience(
+        self,
+        policy=None,
+        *,
+        registry=None,
+        checkpoint_every: int | None = 64,
+    ):
+        """Switch the cluster onto the resilience layer; returns the runtime.
+
+        Wires three things together (see ``docs/RESILIENCE.md``):
+
+        * the :class:`~repro.resilience.policy.RetryPolicy` (``policy``,
+          default :meth:`RetryPolicy.default`) becomes the transaction
+          manager's cluster-wide default, so every front-end's quorum
+          failures turn into bounded, deadline-budgeted retries;
+        * a :class:`~repro.resilience.recovery.RecoveryManager` attaches
+          durable journals to every repository — crashes now wipe
+          volatile state and recoveries replay it exactly;
+        * a :class:`~repro.resilience.heal.PartitionHealDriver` fires an
+          anti-entropy catch-up pass whenever a partition heals or a
+          site recovers, recording catch-up latencies into ``registry``
+          (a fresh :class:`~repro.obs.metrics.MetricsRegistry` by
+          default) as the ``resilience.recovery.latency`` histogram.
+
+        Returns the :class:`~repro.resilience.recovery.ResilienceRuntime`
+        bundling all three (also stored as ``cluster.resilience``).
+        """
+        from repro.obs.metrics import MetricsRegistry
+        from repro.resilience.heal import PartitionHealDriver
+        from repro.resilience.policy import RetryPolicy
+        from repro.resilience.recovery import RecoveryManager, ResilienceRuntime
+
+        policy = policy if policy is not None else RetryPolicy.default()
+        registry = registry if registry is not None else MetricsRegistry()
+        self.tm.retry_policy = policy
+        # Registration order matters: replay must restore a recovered
+        # repository before the heal driver tries to synchronize it.
+        recovery = RecoveryManager(
+            self.network, self.repositories, checkpoint_every=checkpoint_every
+        )
+        heal = PartitionHealDriver(
+            self.network, self.repositories, registry=registry
+        )
+        runtime = ResilienceRuntime(policy, recovery, heal, registry)
+        self.resilience = runtime
+        return runtime
 
     def add_object(
         self,

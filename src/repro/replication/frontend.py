@@ -16,10 +16,10 @@ partition.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.clocks.lamport import LamportClock
-from repro.errors import TransactionAborted, UnavailableError
+from repro.errors import DegradedOperation, TransactionAborted, UnavailableError
 from repro.histories.events import Invocation, Response
 from repro.obs.trace import Tracer
 from repro.quorum.coterie import Coterie
@@ -28,13 +28,32 @@ from repro.replication.object import ReplicatedObject
 from repro.replication.repository import Repository
 from repro.replication.view import View
 from repro.replication.viewcache import QuorumViewCache
+from repro.resilience.policy import (
+    Deadline,
+    OperationResult,
+    RetryPolicy,
+    read_only_operations,
+)
 from repro.sim.network import Network, Timeout
 from repro.txn.ids import Transaction
 from repro.txn.manager import TransactionManager
 
 
 class FrontEnd:
-    """One front-end, colocated with a client at ``site``."""
+    """One front-end, colocated with a client at ``site``.
+
+    Args:
+        site: the site this front-end (and its client) lives at.
+        network: the simulated fabric its quorum RPCs travel.
+        repositories: the replica set, indexed by site.
+        tm: the shared transaction manager.
+        tracer: span sink; defaults to the network's (usually null).
+        retry_policy: this front-end's
+            :class:`~repro.resilience.policy.RetryPolicy`; when ``None``
+            the transaction manager's ``retry_policy`` applies, and when
+            that is also ``None`` quorum failures raise immediately (the
+            pre-policy behaviour).
+    """
 
     def __init__(
         self,
@@ -44,6 +63,7 @@ class FrontEnd:
         tm: TransactionManager,
         *,
         tracer: Tracer | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.site = site
         self.network = network
@@ -56,6 +76,26 @@ class FrontEnd:
         #: path only (``network.rpc_mode == "batched"``); the serial
         #: path re-merges from scratch and stays the reference.
         self.view_cache = QuorumViewCache()
+        #: Per-front-end policy override; see :meth:`effective_policy`.
+        self.retry_policy = retry_policy
+        #: Monotone retry sequence, part of the deterministic jitter key
+        #: (never the simulator's RNG — retries must not perturb the
+        #: seeded workload schedule).
+        self._retry_seq = 0
+        #: Cached read-only classification per object name.
+        self._read_only_cache: dict[str, frozenset[str]] = {}
+
+    def effective_policy(self) -> RetryPolicy | None:
+        """The retry policy governing this front-end's operations.
+
+        Resolution order: this front-end's own ``retry_policy``, then
+        the transaction manager's (set cluster-wide by
+        :meth:`Cluster.enable_resilience`), then ``None`` — no retries,
+        no deadline, no degraded fallback.
+        """
+        if self.retry_policy is not None:
+            return self.retry_policy
+        return getattr(self.tm, "retry_policy", None)
 
     # -- the operation protocol -----------------------------------------------
 
@@ -64,17 +104,32 @@ class FrontEnd:
     ) -> Response:
         """Execute one operation for ``txn``; returns the response.
 
+        When a retry policy is in force (:meth:`effective_policy`),
+        quorum-assembly failures first become bounded retries: the
+        front-end backs off over simulated time (deterministic,
+        seed-derived jitter) and reassembles the quorum until the
+        policy's attempts or its per-operation deadline budget run out.
+        Only then do the exceptions below escape.
+
         Raises :class:`~repro.errors.UnavailableError` when no initial
-        quorum can be assembled (no side effects — the caller may retry
-        or abort), :class:`~repro.errors.ConflictError` from the
-        concurrency-control scheme (no side effects), and
+        quorum can be assembled (no side effects — with a policy, this
+        already includes every allowed retry; the workload driver may
+        still re-run the whole transaction, see
+        ``RetryPolicy.txn_attempts``), :class:`~repro.errors.ConflictError`
+        from the concurrency-control scheme (no side effects),
         :class:`~repro.errors.TransactionAborted` when the final-quorum
         write fails after a response was chosen (the transaction is
-        aborted to keep the partially written entry harmless).
+        aborted to keep the partially written entry harmless), and
+        :class:`~repro.errors.DegradedOperation` when the policy's
+        ``degraded_reads`` fallback served a read-only operation from
+        the initial quorum alone (explicit, never silent; use
+        :meth:`execute_outcome` to receive it as a result instead).
 
         Each call is one ``operation`` span, parented under the
         transaction's span, with ``quorum`` phase and per-repository
-        ``rpc`` spans nested beneath it.
+        ``rpc`` spans nested beneath it (one ``quorum`` span per retry
+        attempt); a degraded call closes its span with outcome
+        ``"degraded"``.
         """
         with self.tracer.span(
             "operation",
@@ -87,12 +142,39 @@ class FrontEnd:
         ) as span:
             return self._execute(txn, object_name, invocation, span)
 
+    def execute_outcome(
+        self, txn: Transaction, object_name: str, invocation: Invocation
+    ) -> OperationResult:
+        """Execute one operation, surfacing degraded fallbacks as data.
+
+        Returns an :class:`~repro.resilience.policy.OperationResult`;
+        ``result.degraded`` is ``True`` when the response came from the
+        read-quorum-only mode (the event was not logged and is not part
+        of the transaction).  All other failures raise exactly as
+        :meth:`execute` does.
+        """
+        try:
+            response = self.execute(txn, object_name, invocation)
+        except DegradedOperation as fallback:
+            return OperationResult(
+                response=fallback.response,
+                degraded=True,
+                attempts=fallback.attempts,
+            )
+        return OperationResult(response=response)
+
     def _execute(
         self, txn: Transaction, object_name: str, invocation: Invocation, span
     ) -> Response:
         obj = self.tm.object(object_name)
+        policy = self.effective_policy()
+        deadline = policy.deadline(self.network.sim) if policy is not None else None
         initial = obj.assignment.initial(invocation)
-        merged, base = self._read_quorum(obj, initial, invocation.op)
+        merged, base = self._retrying(
+            lambda: self._read_quorum(obj, initial, invocation.op),
+            policy,
+            deadline,
+        )
         for entry in obj.sync.own_entries(txn.id):
             merged = merged.add(entry)
         view = View(merged, self.tm, base=base)
@@ -110,8 +192,30 @@ class FrontEnd:
         entry = LogEntry(self.clock.tick(), event, txn.id)
         final = obj.assignment.final(event)
         try:
-            self._write_quorum(obj, final, view.log.add(entry), event)
+            self._retrying(
+                lambda: self._write_quorum(obj, final, view.log.add(entry), event),
+                policy,
+                deadline,
+            )
         except UnavailableError as failure:
+            if (
+                policy is not None
+                and policy.degraded_reads
+                and invocation.op in self._read_only_ops(obj, policy)
+            ):
+                # Read-quorum-only fallback: the response is legal for
+                # the merged view; nothing is recorded in the
+                # transaction's or object's synchronization state.  Log
+                # fragments the failed write left at reachable sites are
+                # harmless *because* the operation is read-only — a
+                # state-preserving event can appear in some views and
+                # not others without changing any history's legality,
+                # which is exactly why mutators never take this path.
+                if self.tracer.enabled:
+                    span.annotate(missing=sorted(failure.missing))
+                raise DegradedOperation(
+                    invocation.op, event.res, policy.max_attempts
+                ) from failure
             self.tm.abort(txn, reason=str(failure))
             raise TransactionAborted(txn.id, str(failure)) from failure
 
@@ -122,6 +226,40 @@ class FrontEnd:
         if self.tracer.enabled:
             span.annotate(entry_ts=str(entry.ts), response=str(event.res))
         return event.res
+
+    # -- retry machinery ---------------------------------------------------
+
+    def _retrying(self, call: Callable, policy, deadline: Deadline | None):
+        """Run one quorum phase under the policy's bounded-retry loop.
+
+        Backoff advances *simulated* time and drains the event queue, so
+        scheduled recoveries and heals due within the wait actually fire
+        — which is what makes retrying worthwhile at all.  With no
+        policy this is a plain call.
+        """
+        attempt = 1
+        while True:
+            try:
+                return call()
+            except UnavailableError:
+                if policy is None or not policy.allows(attempt, deadline):
+                    raise
+                self._retry_seq += 1
+                delay = policy.backoff(attempt, key=(self.site, self._retry_seq))
+                sim = self.network.sim
+                sim.advance(delay)
+                sim.drain()
+                attempt += 1
+
+    def _read_only_ops(self, obj: ReplicatedObject, policy) -> frozenset[str]:
+        """Operations eligible for the degraded-read fallback."""
+        if policy.read_only_ops is not None:
+            return policy.read_only_ops
+        cached = self._read_only_cache.get(obj.name)
+        if cached is None:
+            cached = read_only_operations(obj.datatype)
+            self._read_only_cache[obj.name] = cached
+        return cached
 
     # -- quorum assembly ---------------------------------------------------------
 

@@ -7,12 +7,24 @@ to it.  Storage is *stable*: a crash makes the repository unreachable
 but loses nothing; on recovery it serves its pre-crash state (recovered
 sites catch up naturally the next time they participate in a final
 quorum, because writes carry whole updated views).
+
+The stable-storage model can be made *earned* instead of assumed by
+attaching a durable journal (see :mod:`repro.resilience.recovery`): the
+in-memory dicts then play the role of volatile state, wiped on crash by
+:meth:`lose_volatile` and rebuilt exactly — logs, snapshots, and
+version counters — by :meth:`restart` replaying checkpoint + journal.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.replication.log import Log, LogEntry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.recovery import SiteJournal
 
 
 class Repository:
@@ -28,6 +40,10 @@ class Repository:
         #: incremental view-merge caches on these, so the counter must
         #: move on every mutation a quorum read could observe.
         self._versions: dict[str, int] = {}
+        #: Durable journal for crash-recovery replay; ``None`` keeps the
+        #: plain stable-storage model (crashes lose nothing by fiat).
+        #: Attached by :class:`~repro.resilience.recovery.RecoveryManager`.
+        self.journal: "SiteJournal | None" = None
         self.reads_served = 0
         self.writes_served = 0
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -71,6 +87,8 @@ class Repository:
         if merged is not current:
             self._logs[object_name] = merged
             self._bump(object_name)
+            if self.journal is not None:
+                self.journal.record_log(object_name, merged)
         # Emitted after the merge so trace listeners (the online auditor)
         # observe the repository's post-write log state.
         if self.tracer.enabled:
@@ -108,10 +126,13 @@ class Repository:
             return
         self._snapshots[object_name] = snapshot
         log = self._logs.get(object_name, Log())
-        self._logs[object_name] = Log(
+        filtered = Log(
             entry for entry in log if entry.action not in snapshot.dropped
         )
+        self._logs[object_name] = filtered
         self._bump(object_name)
+        if self.journal is not None:
+            self.journal.record_snapshot(object_name, snapshot, filtered)
 
     def append_entry(self, object_name: str, entry: LogEntry) -> None:
         """Merge a single entry (used by anti-entropy and tests)."""
@@ -121,9 +142,46 @@ class Repository:
         if added is not current:
             self._logs[object_name] = added
             self._bump(object_name)
+            if self.journal is not None:
+                self.journal.record_log(object_name, added)
 
     def stored_objects(self) -> tuple[str, ...]:
+        """Names of every object this repository holds a log for, sorted."""
         return tuple(sorted(self._logs))
 
     def entry_count(self, object_name: str) -> int:
+        """Number of log entries currently stored for ``object_name``."""
         return len(self._logs.get(object_name, Log()))
+
+    # -- crash-recovery replay ----------------------------------------------
+
+    def lose_volatile(self) -> None:
+        """Drop all in-memory state (a crash under the journaled model).
+
+        Requires an attached journal — without one this repository *is*
+        stable storage and losing its dicts would silently lose data;
+        raises :class:`~repro.errors.SimulationError` in that case.
+        """
+        if self.journal is None:
+            raise SimulationError(
+                f"repository {self.site} has no journal; refusing to lose "
+                "state that could not be replayed"
+            )
+        self._logs = {}
+        self._snapshots = {}
+        self._versions = {}
+
+    def restart(self) -> int:
+        """Rebuild state from the journal's checkpoint + record suffix.
+
+        Returns the number of journal records replayed.  Restoration is
+        exact — logs, snapshots, and version counters all match their
+        pre-crash values, so view caches keyed on versions stay sound.
+        Raises :class:`~repro.errors.SimulationError` when no journal is
+        attached.
+        """
+        if self.journal is None:
+            raise SimulationError(
+                f"repository {self.site} has no journal to restart from"
+            )
+        return self.journal.restore(self)

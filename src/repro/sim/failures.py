@@ -21,7 +21,14 @@ from repro.sim.network import Network
 
 @dataclass(frozen=True)
 class FailureEvent:
-    """One scripted failure action."""
+    """One scripted failure action.
+
+    Args:
+        time: absolute simulated time at which the action fires.
+        kind: ``"crash"``, ``"recover"``, ``"partition"``, or ``"heal"``.
+        sites: target sites for crash/recover kinds.
+        groups: the disjoint site groups for a partition kind.
+    """
 
     time: float
     kind: str  # "crash" | "recover" | "partition" | "heal"
@@ -30,14 +37,24 @@ class FailureEvent:
 
 
 class FailureScript:
-    """Deterministic, timed failure schedule."""
+    """Deterministic, timed failure schedule.
+
+    Args:
+        network: the fabric the scripted actions mutate.
+        events: the :class:`FailureEvent` actions; stored sorted by time.
+    """
 
     def __init__(self, network: Network, events: Iterable[FailureEvent]):
         self.network = network
         self.events = tuple(sorted(events, key=lambda e: e.time))
 
     def install(self) -> None:
-        """Schedule every scripted event on the simulator."""
+        """Schedule every scripted event on the simulator.
+
+        Returns nothing; events fire as the simulation clock passes
+        their times.  Raises :class:`~repro.errors.SimulationError` if
+        an event time lies in the simulated past.
+        """
         for event in self.events:
             self.network.sim.schedule_at(event.time, self._apply(event))
 
@@ -69,6 +86,12 @@ class CrashInjector:
     long-run per-site availability is therefore
     ``mean_uptime / (mean_uptime + mean_downtime)``, which benchmarks
     match against the analytic quorum availability.
+
+    Args:
+        network: the fabric whose sites crash and recover.
+        mean_uptime: mean simulated time a site stays up.
+        mean_downtime: mean simulated time a crashed site stays down.
+        sites: which sites churn (all of them by default).
     """
 
     def __init__(
@@ -84,6 +107,11 @@ class CrashInjector:
         self.sites = tuple(sites if sites is not None else range(network.n_sites))
 
     def install(self) -> None:
+        """Schedule the first crash for every covered site.
+
+        Draws all inter-failure delays from the simulator's seeded RNG,
+        so the resulting schedule is a pure function of the seed.
+        """
         for site in self.sites:
             self._schedule_crash(site)
 
@@ -109,7 +137,17 @@ class CrashInjector:
 
 
 class PartitionInjector:
-    """Stochastic partition process: random splits that later heal."""
+    """Stochastic partition process: random splits that later heal.
+
+    Args:
+        network: the fabric to cut and heal.
+        mean_interval: mean simulated time between partitions.
+        mean_duration: mean simulated time a partition lasts.
+
+    Each heal goes through :meth:`Network.heal`, so failure listeners —
+    including the resilience layer's heal-triggered anti-entropy driver
+    — fire automatically after every injected cut clears.
+    """
 
     def __init__(
         self,
@@ -122,6 +160,11 @@ class PartitionInjector:
         self.mean_duration = mean_duration
 
     def install(self) -> None:
+        """Schedule the first partition; splits and heals then alternate.
+
+        Group membership and timing draw from the simulator's seeded
+        RNG, so the cut sequence is reproducible per seed.
+        """
         self._schedule_partition()
 
     def _schedule_partition(self) -> None:

@@ -174,6 +174,17 @@ class Simulator:
         return self.run(until=self.now)
 
     @property
+    def dispatching(self) -> bool:
+        """``True`` while the kernel is inside :meth:`run` dispatching events.
+
+        Code that may be called both from within a dispatched callback
+        and from straight-line driver code (e.g. the heal-triggered
+        anti-entropy pass) can consult this to decide whether
+        :meth:`drain` would be a no-op.
+        """
+        return self._running
+
+    @property
     def pending(self) -> int:
         """Number of not-yet-cancelled events in the queue.
 

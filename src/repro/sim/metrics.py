@@ -33,7 +33,11 @@ class MetricRecorder:
     committed_transactions: int = 0
     aborted_transactions: int = 0
 
-    OUTCOMES = ("ok", "unavailable", "conflict", "aborted")
+    #: ``degraded`` counts read-quorum-only fallback responses (see
+    #: :class:`~repro.resilience.policy.RetryPolicy` ``degraded_reads``) —
+    #: the operation *found* its initial quorum, so availability() still
+    #: counts it, but it is never conflated with ``ok``.
+    OUTCOMES = ("ok", "unavailable", "conflict", "aborted", "degraded")
 
     def record(self, operation: str, outcome: str, latency: float | None = None) -> None:
         if outcome not in self.OUTCOMES:
@@ -155,7 +159,7 @@ class MetricRecorder:
         )
         header = (
             f"{'operation':<12} {'attempts':>8} {'ok':>8} {'unavail':>8} "
-            f"{'conflict':>8} {'avail%':>8} {'ok%':>8}"
+            f"{'conflict':>8} {'degraded':>8} {'avail%':>8} {'ok%':>8}"
         )
         if with_latency:
             header += f" {'p50':>8} {'p95':>8} {'p99':>8}"
@@ -164,6 +168,7 @@ class MetricRecorder:
             row = (
                 f"{op:<12} {self.attempts(op):>8} {self.count(op, 'ok'):>8} "
                 f"{self.count(op, 'unavailable'):>8} {self.count(op, 'conflict'):>8} "
+                f"{self.count(op, 'degraded'):>8} "
                 f"{100 * self.availability(op):>7.2f}% {100 * self.success_rate(op):>7.2f}%"
             )
             if with_latency:

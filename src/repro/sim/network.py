@@ -125,30 +125,71 @@ class Network:
         #: Partition groups: a list of disjoint site sets.  Sites in no
         #: group are mutually reachable (the default, un-partitioned state).
         self._groups: list[frozenset[int]] = []
+        #: Observers of failure-state transitions; see
+        #: :meth:`add_failure_listener`.
+        self._failure_listeners: list = []
         self.messages_sent = 0
         self.messages_dropped = 0
 
     # -- failure state -----------------------------------------------------
 
+    def add_failure_listener(self, listener) -> None:
+        """Subscribe to failure-state transitions.
+
+        ``listener(kind, **info)`` is called synchronously *after* the
+        state change, with:
+
+        * ``kind="crash"`` / ``"recover"`` — ``info["site"]``;
+        * ``kind="partition"`` — ``info["groups"]`` (the new cut);
+        * ``kind="heal"`` — ``info["former_groups"]`` (the cut that was
+          just removed; empty when the network was not partitioned).
+
+        Listeners run in registration order — the resilience layer
+        relies on this (crash-recovery replay restores a repository
+        before the heal driver tries to synchronize it).
+        """
+        self._failure_listeners.append(listener)
+
+    def remove_failure_listener(self, listener) -> None:
+        """Unsubscribe a previously added failure listener (no-op if absent)."""
+        try:
+            self._failure_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, kind: str, **info) -> None:
+        for listener in tuple(self._failure_listeners):
+            listener(kind, **info)
+
     def crash(self, site: int) -> None:
+        """Mark ``site`` down: unreachable until :meth:`recover`."""
         self._check_site(site)
         self._crashed.add(site)
         if self.tracer.enabled:
             self.tracer.event("site.crash", site=site)
+        self._notify("crash", site=site)
 
     def recover(self, site: int) -> None:
+        """Bring a crashed ``site`` back up (no-op if it was up)."""
         self._check_site(site)
         self._crashed.discard(site)
         if self.tracer.enabled:
             self.tracer.event("site.recover", site=site)
+        self._notify("recover", site=site)
 
     def is_up(self, site: int) -> bool:
+        """Is ``site`` currently functioning (not crashed)?"""
         self._check_site(site)
         return site not in self._crashed
 
     @property
     def crashed_sites(self) -> frozenset[int]:
         return frozenset(self._crashed)
+
+    @property
+    def partitioned(self) -> bool:
+        """Is a partition cut currently active?"""
+        return bool(self._groups)
 
     def partition(self, *groups) -> None:
         """Split the network into the given disjoint groups.
@@ -172,12 +213,21 @@ class Network:
             self.tracer.event(
                 "net.partition", groups=[sorted(group) for group in sets]
             )
+        self._notify("partition", groups=tuple(sets))
 
     def heal(self) -> None:
-        """Remove all partitions (crashed sites stay crashed)."""
+        """Remove all partitions (crashed sites stay crashed).
+
+        Failure listeners receive the cut that was just removed as
+        ``former_groups``, which is how the resilience layer's
+        :class:`~repro.resilience.heal.PartitionHealDriver` knows which
+        site pairs to reconcile.
+        """
+        former = tuple(self._groups)
         self._groups = []
         if self.tracer.enabled:
             self.tracer.event("net.heal")
+        self._notify("heal", former_groups=former)
 
     def reachable(self, src: int, dst: int) -> bool:
         """Can a message flow from ``src`` to ``dst`` right now?"""

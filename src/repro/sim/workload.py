@@ -8,7 +8,14 @@ simulator's seeded RNG).  Outcomes feed the
 
 * ``ok`` — the operation executed;
 * ``unavailable`` — no initial quorum could be assembled (the paper's
-  availability criterion);
+  availability criterion); when the front-end's
+  :class:`~repro.resilience.policy.RetryPolicy` is in force this already
+  includes every allowed retry, and the *transaction* may still be
+  re-run up to ``policy.txn_attempts`` times;
+* ``degraded`` — the operation was served in read-quorum-only mode (the
+  policy's ``degraded_reads`` fallback): a legal response from the
+  initial quorum alone, explicitly outside the transaction's logged
+  history — never counted as ``ok``;
 * ``conflict`` — the concurrency-control scheme refused: non-fatal
   conflicts make the transaction *wait* for the lock holder (with
   waits-for deadlock detection choosing victims), fatal conflicts abort
@@ -75,6 +82,9 @@ class _Script:
     index: int = 0
     waiting_on: ActionId | None = None
     retries_left: int = 10
+    #: Times this logical transaction has been (re-)started; bounded by
+    #: the front-end policy's ``txn_attempts``.
+    txn_attempt: int = 1
 
     @property
     def done(self) -> bool:
@@ -101,6 +111,12 @@ class WorkloadGenerator:
     #:                itself.  Both timestamp policies are deadlock-free
     #:                without cycle detection.
     deadlock_policy: str = "detect"
+    #: Called with the transaction index (0-based) just before each *new*
+    #: transaction begins — the chaos layer injects faults here so fault
+    #: schedules are indexed by transaction boundary, not simulated time,
+    #: which keeps them identical across ``rpc_mode`` variants.  Policy
+    #: retries of an existing transaction do **not** re-fire the hook.
+    on_transaction_start: Callable[[int], None] | None = None
     metrics: MetricRecorder = field(default_factory=MetricRecorder)
     waits: WaitsForGraph = field(default_factory=WaitsForGraph)
 
@@ -114,6 +130,8 @@ class WorkloadGenerator:
         stall_budget = 1000 * max(1, total_transactions)
         while started < total_transactions or pool:
             while started < total_transactions and len(pool) < self.concurrency:
+                if self.on_transaction_start is not None:
+                    self.on_transaction_start(started)
                 pool.append(self._new_script())
                 started += 1
             pool[:] = [s for s in pool if not self._swept(s)]
@@ -176,13 +194,15 @@ class WorkloadGenerator:
         # histogram tail rather than vanishing from it).
         started_at = self.sim.now
         try:
-            script.frontend.execute(script.txn, object_name, invocation)
+            result = script.frontend.execute_outcome(
+                script.txn, object_name, invocation
+            )
         except UnavailableError:
             self.metrics.record(
                 invocation.op, "unavailable", latency=self.sim.now - started_at
             )
             self._abort(script, "no initial quorum")
-            return True
+            return not self._retry_transaction(script)
         except TransactionAborted as aborted:
             # A final-quorum failure is an availability event, not a
             # concurrency-control abort; classify by the underlying cause.
@@ -194,6 +214,8 @@ class WorkloadGenerator:
             )
             self.metrics.record_abort()
             self.waits.remove(script.txn.id)
+            if quorum_failure and self._retry_transaction(script):
+                return False
             return True
         except ConflictError as conflict:
             self.metrics.record(
@@ -203,9 +225,32 @@ class WorkloadGenerator:
                 self._abort(script, str(conflict))
                 return True
             return self._resolve_conflict(script, conflict)
-        self.metrics.record(invocation.op, "ok", latency=self.sim.now - started_at)
+        self.metrics.record(
+            invocation.op,
+            "degraded" if result.degraded else "ok",
+            latency=self.sim.now - started_at,
+        )
         script.index += 1
         return script.done and self._commit(script)
+
+    def _retry_transaction(self, script: _Script) -> bool:
+        """Re-begin an availability-aborted script under its retry policy.
+
+        Returns ``True`` when the front-end's effective policy grants
+        another transaction attempt: the script gets a fresh transaction
+        and restarts its operation sequence from the top (the aborted
+        attempt's abort was already recorded — retries never hide
+        failures from the metrics).  The chaos boundary hook is *not*
+        re-fired: a retried transaction is the same logical unit of work.
+        """
+        policy = script.frontend.effective_policy()
+        if policy is None or script.txn_attempt >= policy.txn_attempts:
+            return False
+        script.txn_attempt += 1
+        script.txn = self.tm.begin(site=script.frontend.site)
+        script.index = 0
+        script.waiting_on = None
+        return True
 
     def _resolve_conflict(self, script: _Script, conflict: ConflictError) -> bool:
         """Apply the deadlock policy; True when the script is finished."""
