@@ -49,8 +49,16 @@ def emit_json(
     *,
     jobs: int | None = None,
     cache_state: str | None = None,
+    objects: int = 1,
+    placement: str = "all",
 ) -> pathlib.Path:
-    """Write ``BENCH_<name>.json`` with the standard environment stamp."""
+    """Write ``BENCH_<name>.json`` with the standard environment stamp.
+
+    ``objects`` and ``placement`` describe the keyspace shape the
+    benchmark ran against (``1``/``"all"`` is the legacy single-object
+    fully replicated workload), so regression comparisons never
+    conflate a one-object run with a sharded one.
+    """
     from repro.compute.parallel import available_cpus, resolve_jobs
 
     stamped = dict(payload)
@@ -60,6 +68,8 @@ def emit_json(
         "jobs": resolve_jobs(jobs),
         "cache_state": cache_state or "cold",
         "cache_dir": os.environ.get("REPRO_CACHE_DIR", ""),
+        "objects": objects,
+        "placement": placement,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / f"BENCH_{name}.json"

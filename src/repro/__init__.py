@@ -29,7 +29,16 @@ reachable without deep imports::
 
     tracer = repro.Tracer()
     cluster = repro.build_cluster(5, seed=0, tracer=tracer)
+
+Multi-object keyspaces (see ``docs/KEYSPACE.md``) are first-class: a
+declarative :class:`KeyspaceSpec` compiled through a :class:`Placement`
+and served by a :class:`Router` — :func:`build_keyspace` wires the
+whole thing, and :func:`build_cluster` remains the one-object shim over
+it.  Constructing :class:`ReplicatedObject` directly is deprecated; go
+through :meth:`Cluster.add_object` or a spec instead.
 """
+
+import warnings as _warnings
 
 from repro.histories.events import Event, Invocation, Response, event, ok, signal
 from repro.histories.behavioral import BehavioralHistory
@@ -46,7 +55,14 @@ from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.profile import KernelProfiler
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, TraceListener, Tracer
 from repro.quorum.assignment import QuorumAssignment
-from repro.replication.cluster import Cluster, build_cluster
+from repro.replication.cluster import Cluster, build_cluster, build_keyspace
+from repro.replication.keyspace import (
+    KeyspaceSpec,
+    ObjectSpec,
+    Placement,
+    PlacementRule,
+    Router,
+)
 from repro.resilience.policy import (
     POLICIES,
     Deadline,
@@ -82,6 +98,12 @@ __all__ = [
     "QuorumAssignment",
     "Cluster",
     "build_cluster",
+    "build_keyspace",
+    "KeyspaceSpec",
+    "ObjectSpec",
+    "Placement",
+    "PlacementRule",
+    "Router",
     "Simulator",
     "Network",
     "GatherResult",
@@ -109,3 +131,27 @@ __all__ = [
     "POLICIES",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    """PEP 562 shim: deprecated facade names resolve with a warning.
+
+    ``repro.ReplicatedObject`` still works — examples written against
+    the pre-keyspace surface keep running — but constructing replicated
+    objects by hand bypasses placement and registration; new code goes
+    through :meth:`Cluster.add_object` or a :class:`KeyspaceSpec`.  The
+    deep import (``repro.replication.object.ReplicatedObject``) stays
+    warning-free for the runtime's own wiring and for tests.
+    """
+    if name == "ReplicatedObject":
+        _warnings.warn(
+            "importing ReplicatedObject from the repro facade is "
+            "deprecated: register objects via Cluster.add_object or a "
+            "KeyspaceSpec + build_keyspace instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.replication.object import ReplicatedObject
+
+        return ReplicatedObject
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

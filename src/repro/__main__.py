@@ -62,6 +62,22 @@ def _workload_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="P",
         help="per-message loss probability in [0, 1)",
     )
+    parser.add_argument(
+        "--objects",
+        type=int,
+        default=1,
+        metavar="N",
+        help="objects in the keyspace (default: 1, the classic "
+        "single-queue workload; >1 cycles queue/register/counter specs)",
+    )
+    parser.add_argument(
+        "--placement",
+        choices=("all", "ring"),
+        default="all",
+        help="replica placement rule: 'all' = full replication, 'ring' = "
+        "3 consecutive sites per object keyed by object name "
+        "(default: all)",
+    )
 
 
 def _build_workload(
@@ -70,33 +86,54 @@ def _build_workload(
     tracer: Tracer | None = None,
     profiler: KernelProfiler | None = None,
 ):
-    """Assemble the standard replicated-queue workload without running it.
+    """Assemble the standard workload without running it.
 
     Returns ``(cluster, generator)`` so callers can attach observers
     (e.g. the online auditor) or apply fault injection between
     construction and ``generator.run``.
+
+    With ``--objects 1 --placement all`` (the defaults) this is the
+    classic single replicated-queue workload, byte-identical to every
+    pre-keyspace release; any other setting builds a mixed
+    queue/register/counter keyspace via
+    :func:`~repro.replication.keyspace.demo_keyspace` and drives a
+    uniform cross-object mix.
     """
     from repro.dependency import known
-    from repro.replication.cluster import build_cluster
+    from repro.replication.cluster import build_cluster, build_keyspace
+    from repro.replication.keyspace import demo_keyspace, demo_mix
     from repro.sim.failures import CrashInjector, PartitionInjector
     from repro.sim.workload import OperationMix, WorkloadGenerator
     from repro.types import Queue
 
-    cluster = build_cluster(
-        args.sites,
-        seed=args.seed,
-        drop_probability=args.drop_probability,
-        tracer=tracer,
-        profiler=profiler,
-    )
-    queue = Queue()
-    relation = known.ground(queue, known.QUEUE_STATIC, 5)
-    cluster.add_object("queue", queue, "hybrid", relation=relation)
+    n_objects = getattr(args, "objects", 1)
+    placement = getattr(args, "placement", "all")
+    if n_objects > 1 or placement != "all":
+        spec = demo_keyspace(n_objects, args.sites, placement=placement)
+        cluster = build_keyspace(
+            spec,
+            seed=args.seed,
+            drop_probability=args.drop_probability,
+            tracer=tracer,
+            profiler=profiler,
+        )
+        mix = demo_mix(spec)
+    else:
+        cluster = build_cluster(
+            args.sites,
+            seed=args.seed,
+            drop_probability=args.drop_probability,
+            tracer=tracer,
+            profiler=profiler,
+        )
+        queue = Queue()
+        relation = known.ground(queue, known.QUEUE_STATIC, 5)
+        cluster.add_object("queue", queue, "hybrid", relation=relation)
+        mix = OperationMix.uniform("queue", queue.invocations())
     if args.crashes:
         CrashInjector(cluster.network, 60.0, 8.0).install()
     if getattr(args, "partitions", False):
         PartitionInjector(cluster.network, 80.0, 10.0).install()
-    mix = OperationMix.uniform("queue", queue.invocations())
     generator = WorkloadGenerator(
         cluster.sim,
         cluster.tm,
@@ -202,6 +239,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 "transactions": args.transactions,
                 "crashes": args.crashes,
                 "drop_probability": args.drop_probability,
+                "objects": args.objects,
+                "placement": args.placement,
             }
             for replica in range(jobs)
         ]
@@ -300,6 +339,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         n_sites=args.sites,
         transactions=args.transactions,
         jobs=args.jobs,
+        objects=args.objects,
+        placement=args.placement,
     )
     if args.format == "json":
         _emit(json.dumps(verdict, indent=2, sort_keys=True), args.output)
@@ -374,6 +415,16 @@ def _audit_once(args: argparse.Namespace, mutate: str | None):
     from repro.obs.audit import Auditor
     from repro.obs.mutations import MUTATIONS
 
+    if mutate == "shard-misroute":
+        # The misroute sabotage needs somewhere to misroute *to*: a
+        # partially replicated keyspace on enough sites that ring
+        # placement (rf 3) leaves at least one non-holding site per
+        # object.  Upgrade the workload shape; everything else (seed,
+        # transactions, faults) stays as given.
+        args = argparse.Namespace(**vars(args))
+        args.placement = "ring"
+        args.objects = max(getattr(args, "objects", 1), 4)
+        args.sites = max(args.sites, 5)
     tracer = Tracer()
     cluster, generator = _build_workload(args, tracer=tracer)
     # Attach first: monitors pin the declared configuration before any
@@ -563,6 +614,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="front-end quorum assembly mode (default: batched)",
     )
     chaos.add_argument(
+        "--objects",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run cases over an N-object keyspace instead of the classic "
+        "queue+register pair (default: classic)",
+    )
+    chaos.add_argument(
+        "--placement",
+        choices=("all", "ring"),
+        default="all",
+        help="keyspace placement rule when --objects is given "
+        "(default: all)",
+    )
+    chaos.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -653,6 +719,7 @@ def build_parser() -> argparse.ArgumentParser:
             "early-lock-release",
             "log-divergence",
             "quorum-intersection",
+            "shard-misroute",
             "timestamp-inversion",
         ),
         default=None,

@@ -30,7 +30,11 @@ form the runtime keeps — while a pluggable set of
   actions serialized in its scheme's order (begin order for static,
   commit order for hybrid/dynamic) form a legal serial history of the
   object's serial data type, via :class:`~repro.spec.legality.LegalityOracle`
-  and :func:`~repro.histories.serialization.serialize`.
+  and :func:`~repro.histories.serialization.serialize`;
+* **genuine-partial-replication** — under a sharded keyspace, no site
+  ever logs, reads, or acks an operation for a shard it does not hold
+  (Sutra & Shapiro's genuineness criterion, checked against the
+  cluster's compiled placement; inert on fully hand-wired clusters).
 
 Violations are first-class observability artifacts: each carries the
 offending span subtree and a ring buffer of recent point events
@@ -561,6 +565,86 @@ class SerializabilityMonitor(InvariantMonitor):
             )
 
 
+class PartialReplicationMonitor(InvariantMonitor):
+    """No site logs, locks, or acks an operation for a shard it lacks.
+
+    Sutra & Shapiro's *genuine partial replication*: a site only ever
+    processes operations for the objects it replicates.  At bind time
+    the monitor pins the cluster's compiled
+    :class:`~repro.replication.keyspace.Placement` — object → holder
+    sites — and then checks, online:
+
+    * every ``repo.read`` / ``repo.write`` point event fires at a
+      holder of the object (a read or write landing elsewhere means the
+      router leaked an operation off its replica set);
+    * every successful quorum — initial or final — is made up entirely
+      of holder sites (a non-holder's ack must never help a quorum
+      form).
+
+    On a cluster without a placement (hand-wired, pre-keyspace) the
+    monitor is inert: every site implicitly holds everything.  Objects
+    placed *after* bind are not checked — like the other monitors, the
+    declared configuration is captured at attach time.
+    """
+
+    name = "genuine-partial-replication"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._holders: dict[str, frozenset[int]] | None = None
+
+    def bind(self, auditor: "Auditor") -> None:
+        super().bind(auditor)
+        placement = auditor.placement()
+        if placement is None:
+            self._holders = None
+            return
+        self._holders = {
+            name: frozenset(placement.replicas(name))
+            for name in placement.object_names()
+        }
+
+    def on_point_event(self, span: Span) -> None:
+        if self._holders is None or span.site is None:
+            return
+        if span.name not in ("repo.read", "repo.write"):
+            return
+        obj_name = span.attrs.get("object")
+        holders = self._holders.get(obj_name) if obj_name is not None else None
+        if holders is None or span.site in holders:
+            return
+        verb = "served a read of" if span.name == "repo.read" else "accepted a write of"
+        self.report(
+            f"site {span.site} {verb} {obj_name!r} but its replica set is "
+            f"{sorted(holders)} — the operation was routed to a non-holding "
+            "site (genuine partial replication broken)",
+            span=span,
+            object_name=obj_name,
+        )
+
+    def on_quorum(self, span: Span) -> None:
+        if self._holders is None:
+            return
+        if span.outcome != "ok" or "quorum" not in span.attrs:
+            return
+        obj_name = span.attrs.get("object")
+        holders = self._holders.get(obj_name) if obj_name is not None else None
+        if holders is None:
+            return
+        members = frozenset(span.attrs["quorum"])
+        strays = members - holders
+        if strays:
+            phase = span.attrs.get("phase", "?")
+            self.report(
+                f"{phase} quorum {sorted(members)} for "
+                f"{span.attrs.get('op', '?')} on {obj_name!r} includes "
+                f"non-holding site(s) {sorted(strays)} — replica set is "
+                f"{sorted(holders)}",
+                span=span,
+                object_name=obj_name,
+            )
+
+
 def default_monitors() -> list[InvariantMonitor]:
     """The full stock monitor set, in check order."""
     return [
@@ -570,6 +654,7 @@ def default_monitors() -> list[InvariantMonitor]:
         LogConsistencyMonitor(),
         HistoryConsistencyMonitor(),
         SerializabilityMonitor(),
+        PartialReplicationMonitor(),
     ]
 
 
@@ -710,6 +795,10 @@ class Auditor(TraceListener):
 
     def object(self, name: str) -> "ReplicatedObject | None":
         return self._tm.objects.get(name)
+
+    def placement(self):
+        """The cluster's compiled placement, or ``None`` when hand-wired."""
+        return getattr(self._cluster, "placement", None)
 
     def history(self, object_name: str):
         """The live-captured behavioral history of one object."""

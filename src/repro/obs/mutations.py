@@ -20,6 +20,7 @@ Registry::
         "early-lock-release":  ...  # drop sync state right after execution
         "timestamp-inversion": ...  # commit timestamp before begin timestamp
         "log-divergence":      ...  # forge a conflicting replica log entry
+        "shard-misroute":      ...  # route ops through a non-holding site
     }
 
 Each entry is ``apply(cluster) -> str`` returning a one-line description
@@ -164,12 +165,62 @@ def diverge_logs(cluster) -> str:
     return "forged a conflicting log entry at an existing timestamp on site 0"
 
 
+def misroute_shard(cluster) -> str:
+    """Route every partially replicated object through a non-holding site.
+
+    The router's visit order for each object whose replica set is a
+    strict subset of the cluster gains the lowest non-holding site at
+    the *front*, so the very next operation on any such object probes —
+    and, because storage is permissive, logs at — a site that was never
+    assigned the shard.  The genuine-partial-replication monitor flags
+    the stray read/write event and the polluted quorum.
+
+    Requires a sharded keyspace: raises
+    :class:`~repro.errors.SpecificationError` on a fully replicated
+    cluster, where every site holds everything and no misroute exists.
+    """
+    from repro.errors import SpecificationError
+
+    router = getattr(cluster, "router", None)
+    placement = getattr(cluster, "placement", None)
+    if router is None or placement is None:
+        raise SpecificationError(
+            "shard-misroute needs a keyspace-built cluster with a router"
+        )
+    all_sites = set(range(placement.n_sites))
+    outsiders = {}
+    for name in placement.object_names():
+        missing = all_sites - set(placement.replicas(name))
+        if missing:
+            outsiders[name] = min(missing)
+    if not outsiders:
+        raise SpecificationError(
+            "shard-misroute needs a partially replicated object; every "
+            "object in this keyspace is placed at all sites"
+        )
+    original = router.route
+
+    def mutated(frontend_site, name, _original=original, _outsiders=outsiders):
+        route = _original(frontend_site, name)
+        stray = _outsiders.get(name)
+        if stray is None:
+            return route
+        return (stray,) + tuple(s for s in route if s != stray)
+
+    router.route = mutated
+    return (
+        f"router visits a non-holding site first for {len(outsiders)} "
+        "partially replicated object(s)"
+    )
+
+
 #: Mutation registry: name -> apply(cluster) -> description.
 MUTATIONS: dict[str, Callable[..., str]] = {
     "quorum-intersection": break_quorum_intersection,
     "early-lock-release": release_locks_early,
     "timestamp-inversion": invert_timestamps,
     "log-divergence": diverge_logs,
+    "shard-misroute": misroute_shard,
 }
 
 #: Which invariant each mutation is expected to trip (used by the sweep
@@ -179,4 +230,5 @@ EXPECTED_INVARIANT = {
     "early-lock-release": "lock-discipline",
     "timestamp-inversion": "timestamp-order",
     "log-divergence": "log-consistency",
+    "shard-misroute": "genuine-partial-replication",
 }

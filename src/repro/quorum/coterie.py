@@ -150,6 +150,75 @@ class ThresholdCoterie(Coterie):
         return f"ThresholdCoterie({self.threshold} of {self.n_sites})"
 
 
+class SubsetThresholdCoterie(Coterie):
+    """"Any ``threshold`` of these ``members``" — threshold quorums over a
+    replica subset of a larger site universe.
+
+    Partial replication places each object on a subset of the cluster's
+    sites; its quorums must draw from that subset while front-end spans,
+    auditors, and assignments keep speaking *global* site ids.  This
+    coterie keeps the universe at ``n_sites`` (so
+    :class:`~repro.quorum.assignment.QuorumAssignment` validation and
+    observed-quorum checks are unchanged) but only counts the member
+    sites toward the threshold — a non-member's reply never helps a
+    quorum form, which is the routing half of genuine partial
+    replication.
+    """
+
+    def __init__(self, n_sites: int, members: Iterable[int], threshold: int):
+        super().__init__(n_sites)
+        self.members = frozenset(members)
+        if not self.members <= self.universe:
+            raise QuorumError(
+                f"members {sorted(self.members)} outside the "
+                f"{n_sites}-site universe"
+            )
+        if not 0 <= threshold <= len(self.members):
+            raise QuorumError(
+                f"threshold {threshold} out of range for "
+                f"{len(self.members)} member sites"
+            )
+        self.threshold = threshold
+
+    def quorums(self) -> Iterator[frozenset[int]]:
+        for quorum in combinations(sorted(self.members), self.threshold):
+            yield frozenset(quorum)
+
+    def has_quorum(self, live: frozenset[int]) -> bool:
+        return len(live & self.members) >= self.threshold
+
+    def smallest_quorum_size(self) -> int:
+        return self.threshold
+
+    def _intersects_fast(self, other: Coterie) -> bool | None:
+        if self.threshold == 0:
+            return False
+        if isinstance(other, SubsetThresholdCoterie):
+            if other.threshold == 0:
+                return False
+            if other.members == self.members:
+                return self.threshold + other.threshold > len(self.members)
+            if not (self.members & other.members):
+                return False
+            return None
+        if isinstance(other, ThresholdCoterie) and other.n_sites == self.n_sites:
+            if other.threshold == 0:
+                return False
+            # Worst case: other's quorum takes every non-member first.
+            spare = self.n_sites - len(self.members)
+            return other.threshold - spare + self.threshold > len(self.members)
+        if isinstance(other, EmptyCoterie):
+            return False
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        members = ",".join(map(str, sorted(self.members)))
+        return (
+            f"SubsetThresholdCoterie({self.threshold} of "
+            f"{{{members}}} in {self.n_sites} sites)"
+        )
+
+
 class EmptyCoterie(Coterie):
     """The coterie whose single quorum is the empty set.
 

@@ -14,7 +14,9 @@ that architecture over the simulated network:
   serialized per concurrency-control scheme;
 * :mod:`repro.replication.frontend` — quorum assembly and the
   read-modify-write operation protocol;
-* :mod:`repro.replication.object` — the client-facing replicated object.
+* :mod:`repro.replication.object` — the client-facing replicated object;
+* :mod:`repro.replication.keyspace` — declarative multi-object
+  keyspaces: placement rules, per-site shard maps, and request routing.
 """
 
 from repro.replication.log import Log, LogEntry
@@ -24,6 +26,13 @@ from repro.replication.object import ReplicatedObject, SynchronizationState
 from repro.replication.frontend import FrontEnd
 from repro.replication.available_copies import AvailableCopiesObject
 from repro.replication.antientropy import AntiEntropy
+from repro.replication.keyspace import (
+    KeyspaceSpec,
+    ObjectSpec,
+    Placement,
+    PlacementRule,
+    Router,
+)
 from repro.replication.reconfig import reconfigure
 from repro.replication.snapshot import Snapshot, compact
 
@@ -37,6 +46,11 @@ __all__ = [
     "FrontEnd",
     "AvailableCopiesObject",
     "AntiEntropy",
+    "KeyspaceSpec",
+    "ObjectSpec",
+    "Placement",
+    "PlacementRule",
+    "Router",
     "reconfigure",
     "Snapshot",
     "compact",

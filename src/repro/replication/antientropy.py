@@ -51,6 +51,11 @@ class AntiEntropy:
         self.rounds = 0
         self.exchanges = 0
         self.skipped = 0
+        #: Object syncs not attempted because one side does not hold the
+        #: shard (partial replication: reconciliation must not spread an
+        #: object beyond its replica set — copying would silently turn a
+        #: misrouted write into a permanent extra replica).
+        self.cross_shard_skips = 0
 
     def install(self) -> None:
         """Schedule the periodic reconciliation process on the simulator.
@@ -103,6 +108,12 @@ class AntiEntropy:
             )
             objects = set(repo_a.stored_objects()) | set(peer_objects)
             for name in sorted(objects):
+                # Genuine partial replication: only reconcile shards
+                # both sites are assigned (always true when fully
+                # replicated, where ``holds`` is vacuous).
+                if not (repo_a.holds(name) and repo_b.holds(name)):
+                    self.cross_shard_skips += 1
+                    continue
                 # Spread compaction snapshots first, so neither side
                 # re-admits entries the other has already folded.
                 snap_b = self.network.request(

@@ -5,11 +5,24 @@ manager, front-ends — and replicated objects under any of the three
 concurrency-control schemes with sensible default quorum assignments.
 Examples and benchmarks use these helpers; tests mostly wire pieces by
 hand.
+
+Two entry points share one construction path:
+
+* :func:`build_keyspace` — the primary API: compile a declarative
+  :class:`~repro.replication.keyspace.KeyspaceSpec` into a running
+  cluster with per-site shard maps, a request router, and one
+  registered object per declaration;
+* :func:`build_cluster` — the classic single-object-era helper, now a
+  thin shim over :func:`build_keyspace` with an empty spec; objects are
+  added afterwards via :meth:`Cluster.add_object` at full replication,
+  which keeps every pre-keyspace example, benchmark, and fingerprint
+  byte-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 from repro.cc.hybrid import HybridCC
 from repro.cc.locking import DynamicLockingCC
@@ -21,6 +34,7 @@ from repro.obs.trace import NULL_TRACER, Tracer
 from repro.quorum.assignment import OperationQuorums, QuorumAssignment
 from repro.quorum.coterie import majority
 from repro.replication.frontend import FrontEnd
+from repro.replication.keyspace import KeyspaceSpec, Placement, Router
 from repro.replication.object import ReplicatedObject
 from repro.replication.repository import Repository
 from repro.sim.kernel import Simulator
@@ -28,6 +42,12 @@ from repro.sim.network import Network
 from repro.spec.datatype import SerialDataType
 from repro.spec.legality import LegalityOracle
 from repro.txn.manager import TransactionManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cc.base import CCScheme
+    from repro.obs.metrics import MetricsRegistry
+    from repro.resilience.policy import RetryPolicy
+    from repro.resilience.recovery import ResilienceRuntime
 
 
 @dataclass
@@ -41,13 +61,19 @@ class Cluster:
     frontends: tuple[FrontEnd, ...]
     #: Shared span sink for every layer (the no-op tracer by default).
     tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+    #: Compiled object → replica-set maps (``None`` for hand-wired
+    #: clusters predating the keyspace API; ``build_keyspace`` and
+    #: ``build_cluster`` always set one).
+    placement: Placement | None = None
+    #: The request router front-ends resolve objects through.
+    router: Router | None = None
 
     @property
     def n_sites(self) -> int:
         return len(self.repositories)
 
     #: The active resilience bundle, set by :meth:`enable_resilience`.
-    resilience: object | None = None
+    resilience: "ResilienceRuntime | None" = None
 
     @property
     def profiler(self) -> KernelProfiler | None:
@@ -55,11 +81,11 @@ class Cluster:
 
     def enable_resilience(
         self,
-        policy=None,
+        policy: "RetryPolicy | None" = None,
         *,
-        registry=None,
+        registry: "MetricsRegistry | None" = None,
         checkpoint_every: int | None = 64,
-    ):
+    ) -> "ResilienceRuntime":
         """Switch the cluster onto the resilience layer; returns the runtime.
 
         Wires three things together (see ``docs/RESILIENCE.md``):
@@ -121,20 +147,44 @@ class Cluster:
         oracle = oracle or LegalityOracle(datatype)
         if assignment is None:
             assignment = majority_assignment(self.n_sites, datatype)
-        if scheme == "hybrid":
-            if relation is None:
-                raise SpecificationError(
-                    "hybrid scheme needs a hybrid dependency relation"
-                )
-            cc = HybridCC(datatype, relation, oracle)
-        elif scheme == "static":
-            cc = StaticTimestampCC(datatype, oracle)
-        elif scheme == "dynamic":
-            cc = DynamicLockingCC(datatype, oracle)
-        else:
-            raise SpecificationError(f"unknown concurrency-control scheme {scheme!r}")
+        cc = _make_scheme(datatype, scheme, relation, oracle)
         obj = ReplicatedObject(name, datatype, assignment, cc, oracle)
-        return self.tm.register(obj)
+        self.tm.register(obj)
+        self._place(name, range(self.n_sites))
+        return obj
+
+    def _place(self, name: str, sites: Sequence[int]) -> None:
+        """Record ``name``'s replica set in the placement and shard maps.
+
+        Hand-wired clusters without a placement skip this — their
+        repositories hold everything (``shards is None``) and their
+        front-ends fan out to all sites, exactly the pre-keyspace model.
+        """
+        if self.placement is None:
+            return
+        self.placement.add(name, sites)
+        for site in sites:
+            self.repositories[site].add_shard(name)
+
+
+def _make_scheme(
+    datatype: SerialDataType,
+    scheme: str,
+    relation: DependencyRelation | None,
+    oracle: LegalityOracle,
+) -> "CCScheme":
+    """Instantiate the named concurrency-control scheme."""
+    if scheme == "hybrid":
+        if relation is None:
+            raise SpecificationError(
+                "hybrid scheme needs a hybrid dependency relation"
+            )
+        return HybridCC(datatype, relation, oracle)
+    if scheme == "static":
+        return StaticTimestampCC(datatype, oracle)
+    if scheme == "dynamic":
+        return DynamicLockingCC(datatype, oracle)
+    raise SpecificationError(f"unknown concurrency-control scheme {scheme!r}")
 
 
 def majority_assignment(n_sites: int, datatype: SerialDataType) -> QuorumAssignment:
@@ -150,8 +200,8 @@ def majority_assignment(n_sites: int, datatype: SerialDataType) -> QuorumAssignm
     )
 
 
-def build_cluster(
-    n_sites: int,
+def build_keyspace(
+    spec: KeyspaceSpec,
     *,
     n_frontends: int | None = None,
     seed: int = 0,
@@ -161,7 +211,15 @@ def build_cluster(
     profiler: KernelProfiler | None = None,
     rpc_mode: str = "batched",
 ) -> Cluster:
-    """Assemble the full stack over ``n_sites`` repository sites.
+    """Compile a keyspace spec into a running cluster.
+
+    The spec's placement rules are compiled into a
+    :class:`~repro.replication.keyspace.Placement`; each repository is
+    assigned exactly its shards, each front-end gets the shared
+    :class:`~repro.replication.keyspace.Router`, and one replicated
+    object is registered per declaration (quorum assignments compiled
+    over each object's replica set — see
+    :meth:`~repro.replication.keyspace.ObjectSpec.compile_assignment`).
 
     Front-ends are colocated with repository sites (one each by
     default), reflecting the paper's observation that front-ends can be
@@ -179,6 +237,9 @@ def build_cluster(
     and/or a :class:`~repro.obs.profile.KernelProfiler` for per-callback
     wall-time accounting in the sim kernel; both default to off.
     """
+    n_sites = spec.n_sites
+    placement = spec.compile()
+    router = Router(placement)
     tracer = tracer if tracer is not None else NULL_TRACER
     sim = Simulator(seed=seed, tracer=tracer, profiler=profiler)
     tracer.bind_clock(sim)
@@ -193,10 +254,70 @@ def build_cluster(
     repositories = tuple(
         Repository(site, tracer=tracer) for site in range(n_sites)
     )
+    for repo in repositories:
+        repo.assign_shards(placement.shards_of(repo.site))
     tm = TransactionManager(tracer=tracer)
     count = n_frontends if n_frontends is not None else n_sites
     frontends = tuple(
-        FrontEnd(site % n_sites, network, repositories, tm, tracer=tracer)
+        FrontEnd(
+            site % n_sites, network, repositories, tm, tracer=tracer, router=router
+        )
         for site in range(count)
     )
-    return Cluster(sim, network, repositories, tm, frontends, tracer=tracer)
+    for obj_spec in spec.objects:
+        oracle = obj_spec.oracle or LegalityOracle(obj_spec.datatype)
+        assignment = obj_spec.compile_assignment(
+            placement.replicas(obj_spec.name), n_sites
+        )
+        cc = _make_scheme(
+            obj_spec.datatype, obj_spec.scheme, obj_spec.relation, oracle
+        )
+        tm.register(
+            ReplicatedObject(
+                obj_spec.name, obj_spec.datatype, assignment, cc, oracle
+            )
+        )
+    return Cluster(
+        sim,
+        network,
+        repositories,
+        tm,
+        frontends,
+        tracer=tracer,
+        placement=placement,
+        router=router,
+    )
+
+
+def build_cluster(
+    n_sites: int,
+    *,
+    n_frontends: int | None = None,
+    seed: int = 0,
+    latency: float = 1.0,
+    drop_probability: float = 0.0,
+    tracer: Tracer | None = None,
+    profiler: KernelProfiler | None = None,
+    rpc_mode: str = "batched",
+) -> Cluster:
+    """Assemble the full stack over ``n_sites`` fully replicated sites.
+
+    The single-object-era entry point, kept as a thin shim over
+    :func:`build_keyspace` with an empty spec: objects added afterwards
+    through :meth:`Cluster.add_object` are placed at *every* site, the
+    router's visit order for a fully replicated object equals the
+    classic locality-first rotation, and quorum assignments default to
+    plain majorities — so pre-keyspace examples, benchmarks, and
+    fingerprints are byte-identical.  See ``docs/KEYSPACE.md`` for
+    migration notes.
+    """
+    return build_keyspace(
+        KeyspaceSpec(n_sites),
+        n_frontends=n_frontends,
+        seed=seed,
+        latency=latency,
+        drop_probability=drop_probability,
+        tracer=tracer,
+        profiler=profiler,
+        rpc_mode=rpc_mode,
+    )

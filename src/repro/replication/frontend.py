@@ -16,7 +16,7 @@ partition.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.clocks.lamport import LamportClock
 from repro.errors import DegradedOperation, TransactionAborted, UnavailableError
@@ -38,6 +38,9 @@ from repro.sim.network import Network, Timeout
 from repro.txn.ids import Transaction
 from repro.txn.manager import TransactionManager
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.replication.keyspace import Router
+
 
 class FrontEnd:
     """One front-end, colocated with a client at ``site``.
@@ -53,6 +56,10 @@ class FrontEnd:
             the transaction manager's ``retry_policy`` applies, and when
             that is also ``None`` quorum failures raise immediately (the
             pre-policy behaviour).
+        router: the keyspace :class:`~repro.replication.keyspace.Router`
+            resolving object → replica visit order under partial
+            replication; ``None`` means every object is fully replicated
+            and quorum fan-out walks all sites (the classic path).
     """
 
     def __init__(
@@ -64,6 +71,7 @@ class FrontEnd:
         *,
         tracer: Tracer | None = None,
         retry_policy: RetryPolicy | None = None,
+        router: "Router | None" = None,
     ):
         self.site = site
         self.network = network
@@ -78,6 +86,8 @@ class FrontEnd:
         self.view_cache = QuorumViewCache()
         #: Per-front-end policy override; see :meth:`effective_policy`.
         self.retry_policy = retry_policy
+        #: Object → replica-set resolution for sharded keyspaces.
+        self.router = router
         #: Monotone retry sequence, part of the deterministic jitter key
         #: (never the simulator's RNG — retries must not perturb the
         #: seeded workload schedule).
@@ -162,6 +172,38 @@ class FrontEnd:
                 attempts=fallback.attempts,
             )
         return OperationResult(response=response)
+
+    def transact(
+        self, operations: Sequence[tuple[str, Invocation]]
+    ) -> tuple[Response, ...]:
+        """Run a cross-object transaction: begin, execute all, commit.
+
+        ``operations`` is a sequence of ``(object_name, invocation)``
+        pairs executed in order under one transaction id; the objects
+        may live on entirely different replica sets — the dependency
+        relation and commit protocol are unchanged *per object*, and
+        the two-phase commit spans exactly the objects touched.
+        Returns the responses in operation order.
+
+        Any failure aborts the whole transaction before the exception
+        propagates: :class:`~repro.errors.UnavailableError` when a
+        quorum cannot be assembled,
+        :class:`~repro.errors.ConflictError` on a synchronization
+        conflict, and :class:`~repro.errors.TransactionAborted` when
+        certification vetoes the commit (or a final-quorum write failed
+        mid-flight, in which case the transaction is already aborted).
+        """
+        txn = self.tm.begin(site=self.site)
+        responses: list[Response] = []
+        try:
+            for object_name, invocation in operations:
+                responses.append(self.execute(txn, object_name, invocation))
+        except BaseException:
+            if txn.is_active:
+                self.tm.abort(txn, reason="transact failure")
+            raise
+        self.tm.commit(txn)
+        return tuple(responses)
 
     def _execute(
         self, txn: Transaction, object_name: str, invocation: Invocation, span
@@ -263,11 +305,27 @@ class FrontEnd:
 
     # -- quorum assembly ---------------------------------------------------------
 
-    def _site_order(self) -> tuple[int, ...]:
-        """Visit sites starting at our own (locality, then round-robin)."""
+    def _site_order(
+        self, obj: ReplicatedObject | None = None
+    ) -> tuple[int, ...]:
+        """Replica visit order for ``obj``, starting at our own site.
+
+        With a router the order covers only the object's replica set;
+        without one (or with no object given) every site is a replica
+        — locality first, then round-robin.  For a fully replicated
+        object the two produce the same order.
+        """
+        if self.router is not None and obj is not None:
+            return self.router.route(self.site, obj.name)
         n = len(self.repositories)
         start = self.site % n if n else 0
         return tuple((start + offset) % n for offset in range(n))
+
+    def _replica_set(self, obj: ReplicatedObject) -> frozenset[int]:
+        """The sites that could have answered a quorum probe for ``obj``."""
+        if self.router is not None:
+            return frozenset(self.router.replicas(obj.name))
+        return frozenset(range(len(self.repositories)))
 
     def _read_quorum(
         self, obj: ReplicatedObject, coterie: Coterie, op_name: str
@@ -302,7 +360,7 @@ class FrontEnd:
             name = obj.name
             outcome = self.network.gather(
                 self.site,
-                self._site_order(),
+                self._site_order(obj),
                 lambda site: (
                     self.repositories[site].read_log(name),
                     self.repositories[site].read_snapshot(name),
@@ -312,7 +370,7 @@ class FrontEnd:
             )
             responders = outcome.responders
             if not coterie.has_quorum(responders):
-                missing = frozenset(range(len(self.repositories))) - responders
+                missing = self._replica_set(obj) - responders
                 span.annotate(
                     responders=sorted(responders), missing=sorted(missing)
                 )
@@ -340,7 +398,7 @@ class FrontEnd:
             if coterie.has_quorum(frozenset()):
                 span.annotate(quorum=())
                 return merged, None
-            for site in self._site_order():
+            for site in self._site_order(obj):
                 try:
                     fragment, snapshot = self.network.request(
                         self.site,
@@ -365,7 +423,7 @@ class FrontEnd:
                         )
                     span.annotate(quorum=sorted(responders))
                     return merged, best
-            missing = frozenset(range(len(self.repositories))) - responders
+            missing = self._replica_set(obj) - responders
             span.annotate(responders=sorted(responders), missing=sorted(missing))
             raise UnavailableError(op_name, missing)
 
@@ -396,7 +454,7 @@ class FrontEnd:
             name = obj.name
             outcome = self.network.gather(
                 self.site,
-                self._site_order(),
+                self._site_order(obj),
                 # The version pair is captured atomically around the
                 # write so the view cache can prove, from the ack alone,
                 # that nothing else touched the fragment since our read.
@@ -408,7 +466,7 @@ class FrontEnd:
             )
             acks = outcome.responders
             if not coterie.has_quorum(acks):
-                missing = frozenset(range(len(self.repositories))) - acks
+                missing = self._replica_set(obj) - acks
                 span.annotate(responders=sorted(acks), missing=sorted(missing))
                 raise UnavailableError(op_name, missing)
             self.view_cache.note_write(
@@ -438,7 +496,7 @@ class FrontEnd:
             if coterie.has_quorum(frozenset()):
                 span.annotate(quorum=())
                 return
-            for site in self._site_order():
+            for site in self._site_order(obj):
                 try:
                     self.network.request(
                         self.site,
@@ -453,6 +511,6 @@ class FrontEnd:
                 if coterie.has_quorum(frozenset(acks)):
                     span.annotate(quorum=sorted(acks))
                     return
-            missing = frozenset(range(len(self.repositories))) - acks
+            missing = self._replica_set(obj) - acks
             span.annotate(responders=sorted(acks), missing=sorted(missing))
             raise UnavailableError(op_name, missing)

@@ -44,9 +44,36 @@ class Repository:
         #: plain stable-storage model (crashes lose nothing by fiat).
         #: Attached by :class:`~repro.resilience.recovery.RecoveryManager`.
         self.journal: "SiteJournal | None" = None
+        #: The shard names this site is assigned under partial
+        #: replication, or ``None`` for the classic fully replicated
+        #: repository that holds everything.  Set by ``build_keyspace``;
+        #: storage itself stays permissive (a misrouted write *lands*,
+        #: and the auditor's genuine-partial-replication monitor is what
+        #: flags it — enforcement here would mask the very violations
+        #: the mutation harness needs to exercise).
+        self.shards: set[str] | None = None
         self.reads_served = 0
         self.writes_served = 0
         self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    # -- shard assignment ----------------------------------------------------
+
+    def assign_shards(self, names) -> None:
+        """Restrict this repository to the given shard names."""
+        self.shards = set(names)
+
+    def add_shard(self, name: str) -> None:
+        """Grow the assignment by one shard (no-op when fully replicated)."""
+        if self.shards is not None:
+            self.shards.add(name)
+
+    def holds(self, object_name: str) -> bool:
+        """Is ``object_name`` one of this site's shards?
+
+        ``True`` for every object when no assignment was made — the
+        fully replicated repository holds the whole keyspace.
+        """
+        return self.shards is None or object_name in self.shards
 
     def log_version(self, object_name: str) -> int:
         """Monotone per-object change counter (0 = never written)."""

@@ -184,34 +184,45 @@ def run_chaos_case(
     rpc_mode: str = "batched",
     n_sites: int = 5,
     transactions: int = 16,
+    objects: int | None = None,
+    placement: str = "all",
 ) -> dict:
     """One audited chaos run; returns a plain (picklable) verdict dict.
 
-    Builds a five-site cluster with two replicated objects — a hybrid
-    FIFO queue under majority/majority quorums, and a static-scheme
-    register whose final coterie is a 4-of-5 threshold (so two downed
-    sites leave reads *initial*-assemblable but writes unreachable,
-    exercising the policy's degraded/retry paths) — enables the
-    resilience layer with ``POLICIES[policy_name]``, attaches the
+    With ``objects=None`` (the default), builds a five-site cluster with
+    two replicated objects — a hybrid FIFO queue under majority/majority
+    quorums, and a static-scheme register whose final coterie is a
+    4-of-5 threshold (so two downed sites leave reads
+    *initial*-assemblable but writes unreachable, exercising the
+    policy's degraded/retry paths).  With ``objects=N``, builds the
+    :func:`~repro.replication.keyspace.demo_keyspace` of ``N`` mixed
+    queue/register/counter objects under the given ``placement`` rule
+    (``"all"`` or ``"ring"``) instead — the sharded-keyspace chaos
+    envelope, with the genuine-partial-replication monitor live.
+    Either way the cluster enables the resilience layer with
+    ``POLICIES[policy_name]``, attaches the
     :class:`~repro.obs.audit.Auditor`, and drives ``transactions``
     transactions through the fault schedule for ``(profile, seed)``.
 
-    After the workload: outstanding faults are cleared, a full
-    anti-entropy star pass converges every replica, and the auditor's
-    end-of-run invariants execute.  The returned dict's ``fingerprint``
-    sub-dict is mode-independent (identical across ``rpc_mode`` and
-    ``--jobs``); ``timing`` holds the simulated-clock figures
-    (recovery-latency summary and samples) that legitimately differ
-    between modes.  ``ok`` requires: zero audit violations, converged
-    replicas, and full accounting — every transaction committed or
-    aborted, every operation attempt recorded under exactly one outcome.
+    After the workload: outstanding faults are cleared, anti-entropy
+    converges every replica (a site-0 star pass classically; per-object
+    replica-set passes under a keyspace, so reconciliation never ships
+    a shard to a non-holder), and the auditor's end-of-run invariants
+    execute.  The returned dict's ``fingerprint`` sub-dict is
+    mode-independent (identical across ``rpc_mode`` and ``--jobs``);
+    ``timing`` holds the simulated-clock figures (recovery-latency
+    summary and samples) that legitimately differ between modes.  ``ok``
+    requires: zero audit violations, converged replicas, and full
+    accounting — every transaction committed or aborted, every operation
+    attempt recorded under exactly one outcome.
     """
     from repro.dependency import known
     from repro.obs.audit import Auditor
     from repro.obs.trace import Tracer
     from repro.quorum.assignment import OperationQuorums, QuorumAssignment
     from repro.quorum.coterie import ThresholdCoterie, majority
-    from repro.replication.cluster import build_cluster
+    from repro.replication.cluster import build_cluster, build_keyspace
+    from repro.replication.keyspace import demo_keyspace, demo_mix
     from repro.sim.workload import OperationMix, WorkloadGenerator
     from repro.types.queue import Queue
     from repro.types.register import Register
@@ -219,43 +230,55 @@ def run_chaos_case(
     if policy_name not in POLICIES:
         raise ValueError(f"unknown policy {policy_name!r} (not in {sorted(POLICIES)})")
     tracer = Tracer()
-    cluster = build_cluster(
-        n_sites, seed=seed, rpc_mode=rpc_mode, drop_probability=0.0, tracer=tracer
-    )
-    queue = Queue()
-    cluster.add_object(
-        "queue", queue, "hybrid", relation=known.ground(queue, known.QUEUE_STATIC, 5)
-    )
-    register = Register()
-    # Asymmetric assignment: majority (3-of-5) initial quorums, 4-of-5
-    # finals.  Every initial intersects every final (3 + 4 > 5) and
-    # finals pairwise intersect (4 + 4 > 5), so the assignment is valid
-    # for the total dependency relation — but two crashed sites make
-    # final quorums unassemblable while reads still reach their initial
-    # quorum, which is the window the degraded-read fallback serves.
-    tight_final = OperationQuorums(
-        initial=majority(n_sites),
-        final=ThresholdCoterie(n_sites, min(n_sites, 4)),
-    )
-    cluster.add_object(
-        "register",
-        register,
-        "static",
-        assignment=QuorumAssignment(
-            n_sites, {op: tight_final for op in register.operations()}
-        ),
-    )
+    if objects is not None:
+        spec = demo_keyspace(objects, n_sites, placement=placement)
+        cluster = build_keyspace(
+            spec, seed=seed, rpc_mode=rpc_mode, drop_probability=0.0, tracer=tracer
+        )
+        mix = demo_mix(spec)
+        names = tuple(obj_spec.name for obj_spec in spec.objects)
+    else:
+        cluster = build_cluster(
+            n_sites, seed=seed, rpc_mode=rpc_mode, drop_probability=0.0, tracer=tracer
+        )
+        queue = Queue()
+        cluster.add_object(
+            "queue",
+            queue,
+            "hybrid",
+            relation=known.ground(queue, known.QUEUE_STATIC, 5),
+        )
+        register = Register()
+        # Asymmetric assignment: majority (3-of-5) initial quorums, 4-of-5
+        # finals.  Every initial intersects every final (3 + 4 > 5) and
+        # finals pairwise intersect (4 + 4 > 5), so the assignment is valid
+        # for the total dependency relation — but two crashed sites make
+        # final quorums unassemblable while reads still reach their initial
+        # quorum, which is the window the degraded-read fallback serves.
+        tight_final = OperationQuorums(
+            initial=majority(n_sites),
+            final=ThresholdCoterie(n_sites, min(n_sites, 4)),
+        )
+        cluster.add_object(
+            "register",
+            register,
+            "static",
+            assignment=QuorumAssignment(
+                n_sites, {op: tight_final for op in register.operations()}
+            ),
+        )
+        mix = OperationMix.weighted(
+            [
+                ("register", inv, 3.0 if inv.op == "Read" else 1.0)
+                for inv in register.invocations()
+            ]
+            + [("queue", inv, 1.0) for inv in queue.invocations()]
+        )
+        names = ("queue", "register")
     runtime = cluster.enable_resilience(POLICIES[policy_name])
     auditor = Auditor(cluster)
     schedule = ChaosSchedule(
         generate_schedule(profile, seed, n_sites, transactions)
-    )
-    mix = OperationMix.weighted(
-        [
-            ("register", inv, 3.0 if inv.op == "Read" else 1.0)
-            for inv in register.invocations()
-        ]
-        + [("queue", inv, 1.0) for inv in queue.invocations()]
     )
     generator = WorkloadGenerator(
         cluster.sim,
@@ -269,28 +292,53 @@ def run_chaos_case(
     metrics = generator.run(transactions)
 
     # Cleanup: clear outstanding faults (schedules may pair a crash with
-    # a recovery past the last boundary), then star-sync every replica
-    # through site 0 twice — first pass gathers the union, second pass
-    # spreads it — so convergence is checkable exactly.
+    # a recovery past the last boundary), then reconcile twice — first
+    # pass gathers the union, second pass spreads it — so convergence is
+    # checkable exactly.  Classically that is a star-sync through site
+    # 0; under a sharded keyspace each object's replica set is starred
+    # through its own lowest replica instead, so reconciliation stays
+    # inside replica sets (genuine partial replication holds for repair
+    # traffic too).
     if cluster.network.partitioned:
         cluster.network.heal()
     for site in sorted(cluster.network.crashed_sites):
         cluster.network.recover(site)
     antientropy = runtime.heal.antientropy
-    for _pass in range(2):
-        for site in range(1, n_sites):
-            antientropy.synchronize(0, site)
-
-    converged = all(
-        len(
+    if objects is not None:
+        sync_pairs = sorted(
             {
-                str(repo.peek_log(name))
-                for repo in cluster.repositories
+                (reps[0], rep)
+                for reps in map(cluster.placement.replicas, names)
+                for rep in reps[1:]
             }
         )
-        == 1
-        for name in ("queue", "register")
-    )
+        for _pass in range(2):
+            for first, second in sync_pairs:
+                antientropy.synchronize(first, second)
+        converged = all(
+            len(
+                {
+                    str(cluster.repositories[site].peek_log(name))
+                    for site in cluster.placement.replicas(name)
+                }
+            )
+            == 1
+            for name in names
+        )
+    else:
+        for _pass in range(2):
+            for site in range(1, n_sites):
+                antientropy.synchronize(0, site)
+        converged = all(
+            len(
+                {
+                    str(repo.peek_log(name))
+                    for repo in cluster.repositories
+                }
+            )
+            == 1
+            for name in names
+        )
     report = auditor.finish()
 
     active = [t for t in cluster.tm.transactions() if t.is_active]
@@ -322,7 +370,7 @@ def run_chaos_case(
             },
             "histories": {
                 name: str(cluster.tm.object(name).recorder.to_behavioral_history())
-                for name in ("queue", "register")
+                for name in names
             },
             "messages_sent": cluster.network.messages_sent,
             "messages_dropped": cluster.network.messages_dropped,
@@ -364,6 +412,8 @@ def _case_trial(
     rpc_mode: str,
     n_sites: int,
     transactions: int,
+    objects: int | None = None,
+    placement: str = "all",
 ) -> dict:
     """Module-level trial wrapper so sweeps pickle under ``--jobs N``."""
     return run_chaos_case(
@@ -373,6 +423,8 @@ def _case_trial(
         rpc_mode=rpc_mode,
         n_sites=n_sites,
         transactions=transactions,
+        objects=objects,
+        placement=placement,
     )
 
 
@@ -394,6 +446,8 @@ def run_chaos_sweep(
     n_sites: int = 5,
     transactions: int = 16,
     jobs: int | None = None,
+    objects: int | None = None,
+    placement: str = "all",
 ) -> dict:
     """Sweep ``seeds × profiles × policies`` and build the verdict table.
 
@@ -419,6 +473,8 @@ def run_chaos_sweep(
                 rpc_mode=rpc_mode,
                 n_sites=n_sites,
                 transactions=transactions,
+                objects=objects,
+                placement=placement,
             )
             cases, parallel_used = run_trials(trial, seeds, jobs=jobs)
             parallel_any = parallel_any or parallel_used
@@ -455,6 +511,8 @@ def run_chaos_sweep(
         "transactions": transactions,
         "n_sites": n_sites,
         "rpc_mode": rpc_mode,
+        "objects": objects,
+        "placement": placement,
         "parallel_used": parallel_any,
         "profiles": table,
     }

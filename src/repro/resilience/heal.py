@@ -99,11 +99,33 @@ class PartitionHealDriver:
             self._timed_sync(reps[0], other)
 
     def _catch_up(self, site: int) -> None:
-        """Pair a recovered site with its first reachable peer."""
+        """Pair a recovered site with its first reachable peer.
+
+        Placement-aware: under partial replication a peer holding none
+        of the recovered site's shards has nothing to replay into it, so
+        the first reachable *shard-sharing* peer is preferred — recovery
+        replays only the site's own shards (the genuine-partial-
+        replication discipline extends to repair traffic).  Fully
+        replicated sites (``shards is None``) share everything, keeping
+        the classic first-reachable-peer behaviour.
+        """
+        shards = self.repositories[site].shards
+        fallback = None
         for peer in range(len(self.repositories)):
-            if peer != site and self.network.reachable(site, peer):
+            if peer == site or not self.network.reachable(site, peer):
+                continue
+            if fallback is None:
+                fallback = peer
+            peer_shards = self.repositories[peer].shards
+            if (
+                shards is None
+                or peer_shards is None
+                or shards & peer_shards
+            ):
                 self._timed_sync(site, peer)
                 return
+        if fallback is not None:
+            self._timed_sync(site, fallback)
 
     def _timed_sync(self, first: int, second: int) -> bool:
         started_at = self.network.sim.now

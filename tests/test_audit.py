@@ -25,7 +25,8 @@ from repro.obs.audit import (
 )
 from repro.obs.mutations import EXPECTED_INVARIANT, MUTATIONS
 from repro.obs.trace import Tracer
-from repro.replication.cluster import build_cluster
+from repro.replication.cluster import build_cluster, build_keyspace
+from repro.replication.keyspace import demo_keyspace, demo_mix
 from repro.sim.failures import CrashInjector
 from repro.sim.workload import OperationMix, WorkloadGenerator
 from repro.types import Queue
@@ -39,6 +40,7 @@ INVARIANTS = (
     "log-consistency",
     "history-capture",
     "one-copy-serializability",
+    "genuine-partial-replication",
 )
 
 
@@ -53,19 +55,26 @@ def audited_run(
 ):
     """Run the queue workload under the auditor; returns (report, cluster)."""
     tracer = Tracer()
-    cluster = build_cluster(sites, seed=seed, tracer=tracer)
-    queue = Queue()
-    if scheme == "hybrid":
-        relation = known.ground(queue, known.QUEUE_STATIC, 5)
-        cluster.add_object("queue", queue, scheme, relation=relation)
+    if mutate == "shard-misroute":
+        # This mutation needs a shard it can misroute: a partially
+        # replicated ring keyspace, not the fully replicated queue.
+        spec = demo_keyspace(4, max(sites, 5), placement="ring")
+        cluster = build_keyspace(spec, seed=seed, tracer=tracer)
+        mix = demo_mix(spec)
     else:
-        cluster.add_object("queue", queue, scheme)
+        cluster = build_cluster(sites, seed=seed, tracer=tracer)
+        queue = Queue()
+        if scheme == "hybrid":
+            relation = known.ground(queue, known.QUEUE_STATIC, 5)
+            cluster.add_object("queue", queue, scheme, relation=relation)
+        else:
+            cluster.add_object("queue", queue, scheme)
+        mix = OperationMix.uniform("queue", queue.invocations())
     if crashes:
         CrashInjector(cluster.network, 60.0, 8.0).install()
     auditor = Auditor(cluster, monitors)
     if mutate is not None:
         MUTATIONS[mutate](cluster)
-    mix = OperationMix.uniform("queue", queue.invocations())
     generator = WorkloadGenerator(
         cluster.sim,
         cluster.tm,
