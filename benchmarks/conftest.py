@@ -57,9 +57,14 @@ def emit_json(
     ``objects`` and ``placement`` describe the keyspace shape the
     benchmark ran against (``1``/``"all"`` is the legacy single-object
     fully replicated workload), so regression comparisons never
-    conflate a one-object run with a sharded one.
+    conflate a one-object run with a sharded one.  The stamp also
+    records the process-wide span-retention gauges
+    (``obs.retained_spans`` / ``obs.peak_retained``), so any benchmark
+    that quietly retained an unbounded trace shows it in its own
+    artifact.
     """
     from repro.compute.parallel import available_cpus, resolve_jobs
+    from repro.obs.trace import process_peak_retained, process_retained_spans
 
     stamped = dict(payload)
     stamped["environment"] = {
@@ -70,6 +75,8 @@ def emit_json(
         "cache_dir": os.environ.get("REPRO_CACHE_DIR", ""),
         "objects": objects,
         "placement": placement,
+        "obs.retained_spans": process_retained_spans(),
+        "obs.peak_retained": process_peak_retained(),
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / f"BENCH_{name}.json"

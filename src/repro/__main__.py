@@ -18,12 +18,21 @@ Subcommands:
   fault schedules over the resilience layer (retry policies, crash
   recovery, heal-triggered anti-entropy), every run audited; emits a
   JSON verdict table and exits non-zero unless every case is clean.
+* ``soak``    — bounded-memory endurance run: a sharded hybrid-queue
+  keyspace driven for ``--ops`` operations (default one million) under
+  ring span retention, the streaming auditor, and periodic log
+  compaction + transaction retirement; exits non-zero unless retained
+  spans stayed within the window and the audit was clean.
 * ``cache``   — administer the persistent kernel-artifact cache:
   ``stats`` (traffic + disk usage), ``warm`` (pre-derive the standard
   catalog, optionally in parallel), ``clear``.
 
 All workload subcommands share ``--seed``, ``--sites``,
 ``--transactions``, ``--crashes`` and are deterministic per seed.
+``report``, ``bench``, ``audit``, ``chaos``, and ``soak`` accept
+``--artifacts DIR`` to drop a machine-readable ``plan.json`` /
+``report.json`` pair describing the run (see
+:mod:`repro.obs.runreport`).
 ``report`` and the kernel paths honor ``--jobs`` / ``REPRO_JOBS`` for
 multiprocess derivation and ``REPRO_CACHE_DIR`` / ``REPRO_CACHE`` for
 the artifact cache.
@@ -157,6 +166,40 @@ def _run_workload(
     return cluster, metrics
 
 
+def _artifacts_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="write a machine-readable plan.json/report.json pair into DIR",
+    )
+
+
+def _workload_plan(args: argparse.Namespace) -> dict:
+    """The shared workload section of a ``plan.json``."""
+    return {
+        "seed": args.seed,
+        "sites": args.sites,
+        "transactions": getattr(args, "transactions", None),
+        "objects": getattr(args, "objects", 1),
+        "placement": getattr(args, "placement", "all"),
+        "crashes": getattr(args, "crashes", False),
+        "partitions": getattr(args, "partitions", False),
+        "drop_probability": getattr(args, "drop_probability", 0.0),
+    }
+
+
+def _write_artifacts(args: argparse.Namespace, plan: dict, report: dict) -> None:
+    """Drop the artifact pair when ``--artifacts DIR`` was given."""
+    directory = getattr(args, "artifacts", None)
+    if directory is None:
+        return
+    from repro.obs.runreport import write_run_artifacts
+
+    plan_path, report_path = write_run_artifacts(directory, plan, report)
+    print(f"wrote {plan_path} and {report_path}", file=sys.stderr)
+
+
 def _emit(text: str, output: str | None) -> None:
     if output is None or output == "-":
         print(text)
@@ -175,11 +218,52 @@ def _emit(text: str, output: str | None) -> None:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.core.paper import paper_report
 
+    wall_start = perf_counter()
     print(paper_report(fast_theorems=args.fast, jobs=args.jobs))
+    elapsed = perf_counter() - wall_start
+    if args.artifacts is not None:
+        from repro.obs.runreport import make_plan, make_report
+
+        _write_artifacts(
+            args,
+            make_plan(
+                "report", config={"fast": args.fast, "jobs": args.jobs}
+            ),
+            make_report("report", ok=True, elapsed=round(elapsed, 3)),
+        )
     return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.stream:
+        from repro.obs.export import STREAM_WRITERS, open_stream_writer
+
+        if args.format not in STREAM_WRITERS:
+            raise SystemExit(
+                "python -m repro trace: --stream requires --format "
+                + " or ".join(sorted(STREAM_WRITERS))
+            )
+        tracer = Tracer(retention="ring", window=args.window)
+        handle = (
+            sys.stdout
+            if args.output in (None, "-")
+            else open(args.output, "w", encoding="utf-8")
+        )
+        writer = open_stream_writer(args.format, handle)
+        tracer.add_listener(writer)
+        try:
+            _run_workload(args, tracer=tracer)
+            writer.close()
+        finally:
+            if handle is not sys.stdout:
+                handle.close()
+        print(
+            f"streamed {writer.spans_written} spans "
+            f"(ring window {tracer.window}, peak retained "
+            f"{tracer.peak_retained})",
+            file=sys.stderr,
+        )
+        return 0
     tracer = Tracer()
     _run_workload(args, tracer=tracer)
     _emit(export(tracer.spans, args.format), args.output)
@@ -263,6 +347,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "aggregate)"
         )
         _emit("\n".join(lines), args.output)
+        if args.artifacts is not None:
+            from repro.obs.runreport import make_plan, make_report
+
+            _write_artifacts(
+                args,
+                make_plan("bench", workload=_workload_plan(args), jobs=jobs),
+                make_report(
+                    "bench",
+                    ok=True,
+                    elapsed=round(elapsed, 3),
+                    operations=operations,
+                    replicas=results,
+                ),
+            )
         return 0
 
     profiler = KernelProfiler() if args.profile else None
@@ -285,6 +383,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         lines += ["", "kernel profile (wall time per dispatched callback):"]
         lines.append(profiler.report())
     _emit("\n".join(lines), args.output)
+    if args.artifacts is not None:
+        from repro.obs.metrics import retention_gauges
+        from repro.obs.runreport import make_plan, make_report
+
+        _write_artifacts(
+            args,
+            make_plan("bench", workload=_workload_plan(args), jobs=1),
+            make_report(
+                "bench",
+                ok=True,
+                elapsed=round(elapsed, 3),
+                operations=operations,
+                messages=cluster.network.messages_sent,
+                sim_time=round(cluster.sim.now, 1),
+                retention=retention_gauges(metrics.registry),
+            ),
+        )
     return 0
 
 
@@ -346,6 +461,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         _emit(json.dumps(verdict, indent=2, sort_keys=True), args.output)
     else:
         _emit(_chaos_table(verdict), args.output)
+    if args.artifacts is not None:
+        from repro.obs.runreport import make_plan, make_report
+
+        _write_artifacts(
+            args,
+            make_plan(
+                "chaos",
+                workload={
+                    "seed": args.seed,
+                    "seeds": args.seeds,
+                    "sites": args.sites,
+                    "transactions": args.transactions,
+                    "objects": args.objects,
+                    "placement": args.placement,
+                },
+                profiles=list(profiles),
+                policies=list(policies),
+                rpc_mode=args.rpc_mode,
+            ),
+            make_report("chaos", ok=bool(verdict["ok"]), verdict=verdict),
+        )
     return 0 if verdict["ok"] else 1
 
 
@@ -412,7 +548,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _audit_once(args: argparse.Namespace, mutate: str | None):
     """One audited workload run; returns the finished AuditReport."""
-    from repro.obs.audit import Auditor
+    from repro.obs.audit import DEFAULT_STREAM_WINDOW, Auditor
     from repro.obs.mutations import MUTATIONS
 
     if mutate == "shard-misroute":
@@ -425,11 +561,21 @@ def _audit_once(args: argparse.Namespace, mutate: str | None):
         args.placement = "ring"
         args.objects = max(getattr(args, "objects", 1), 4)
         args.sites = max(args.sites, 5)
-    tracer = Tracer()
+    streaming = getattr(args, "streaming", False)
+    window = getattr(args, "window", None) or DEFAULT_STREAM_WINDOW
+    if streaming:
+        # Streaming audit rides on bounded retention end to end: the
+        # tracer only keeps the ring tail, the monitors only their
+        # sliding windows.
+        tracer = Tracer(retention="ring", window=window)
+    else:
+        tracer = Tracer()
     cluster, generator = _build_workload(args, tracer=tracer)
     # Attach first: monitors pin the declared configuration before any
     # seeded mutation can rewrite it.
-    auditor = Auditor(cluster)
+    auditor = Auditor(
+        cluster, mode="streaming" if streaming else "deep", window=window
+    )
     if mutate is not None:
         MUTATIONS[mutate](cluster)
     generator.run(args.transactions)
@@ -489,7 +635,71 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         _emit(json.dumps(report.to_dict(), indent=2, sort_keys=True), args.output)
     else:
         _emit(report.render(), args.output)
+    if args.artifacts is not None:
+        from repro.obs.runreport import make_plan, make_report
+
+        _write_artifacts(
+            args,
+            make_plan(
+                "audit",
+                workload=_workload_plan(args),
+                observability={
+                    "mode": report.mode,
+                    "window": report.window,
+                    "mutate": args.mutate,
+                },
+            ),
+            make_report(
+                "audit",
+                ok=report.ok,
+                report=report.to_dict(),
+                retention={
+                    "obs.retained_spans": report.retained_spans,
+                    "obs.peak_retained": report.peak_retained,
+                },
+            ),
+        )
     return 0 if report.ok else 1
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.obs.soak import SoakConfig, run_soak
+
+    ops = 25_000 if args.quick else args.ops
+    config = SoakConfig(
+        ops=ops,
+        seed=args.seed,
+        sites=args.sites,
+        objects=args.objects,
+        replication_factor=args.replication_factor,
+        window=args.window,
+        compact_every=args.compact_every,
+        audit=not args.no_audit,
+    )
+    result = run_soak(config)
+    if args.format == "json":
+        _emit(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True), args.output
+        )
+    else:
+        _emit(result.render(), args.output)
+    if args.artifacts is not None:
+        from repro.obs.runreport import make_plan, make_report
+
+        _write_artifacts(
+            args,
+            make_plan(
+                "soak",
+                config=config.to_dict(),
+                observability={
+                    "retention": result.retention,
+                    "window": config.window,
+                    "audit_mode": "streaming" if config.audit else "off",
+                },
+            ),
+            make_report("soak", ok=result.ok, result=result.to_dict()),
+        )
+    return 0 if result.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -516,6 +726,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for kernel derivations on a cache miss "
         "(default: REPRO_JOBS, else serial)",
     )
+    _artifacts_argument(report)
     report.set_defaults(func=_cmd_report)
 
     trace = subparsers.add_parser(
@@ -527,6 +738,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(EXPORTERS),
         default="tree",
         help="trace rendering (default: tree)",
+    )
+    trace.add_argument(
+        "--stream",
+        action="store_true",
+        help="flush spans incrementally as they close (jsonl or chrome "
+        "format) under ring retention, instead of exporting at the end",
+    )
+    trace.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="W",
+        help="ring-retention window for --stream (default: 4096)",
     )
     trace.add_argument(
         "--output", "-o", default=None, help="write to a file instead of stdout"
@@ -568,6 +792,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--output", "-o", default=None, help="write to a file instead of stdout"
     )
+    _artifacts_argument(bench)
     bench.set_defaults(func=_cmd_bench)
 
     chaos = subparsers.add_parser(
@@ -645,6 +870,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--output", "-o", default=None, help="write to a file instead of stdout"
     )
+    _artifacts_argument(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
     cache = subparsers.add_parser(
@@ -738,9 +964,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="report rendering (default: text)",
     )
     audit.add_argument(
+        "--streaming",
+        action="store_true",
+        help="audit with bounded-memory streaming monitors over a ring "
+        "tracer instead of full-history capture",
+    )
+    audit.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="W",
+        help="sliding-window size for --streaming (default: 256)",
+    )
+    audit.add_argument(
         "--output", "-o", default=None, help="write to a file instead of stdout"
     )
+    _artifacts_argument(audit)
     audit.set_defaults(func=_cmd_audit)
+
+    soak = subparsers.add_parser(
+        "soak",
+        help="bounded-memory endurance run under the streaming auditor",
+    )
+    soak.add_argument(
+        "--ops",
+        type=int,
+        default=1_000_000,
+        metavar="N",
+        help="executed operations to drive (default: 1,000,000)",
+    )
+    soak.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI preset: 25,000 operations instead of --ops",
+    )
+    soak.add_argument("--seed", type=int, default=0, help="simulation seed")
+    soak.add_argument(
+        "--sites", type=int, default=5, help="repository sites (default: 5)"
+    )
+    soak.add_argument(
+        "--objects",
+        type=int,
+        default=8,
+        metavar="N",
+        help="hybrid queues in the soak keyspace (default: 8)",
+    )
+    soak.add_argument(
+        "--replication-factor",
+        type=int,
+        default=3,
+        metavar="F",
+        help="ring replicas per object (default: 3)",
+    )
+    soak.add_argument(
+        "--window",
+        type=int,
+        default=512,
+        metavar="W",
+        help="tracer ring size and streaming-monitor window (default: 512)",
+    )
+    soak.add_argument(
+        "--compact-every",
+        type=int,
+        default=25,
+        metavar="T",
+        help="maintenance round every T transactions (default: 25)",
+    )
+    soak.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="skip tracing and auditing (raw throughput baseline)",
+    )
+    soak.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="result rendering (default: text)",
+    )
+    soak.add_argument(
+        "--output", "-o", default=None, help="write to a file instead of stdout"
+    )
+    _artifacts_argument(soak)
+    soak.set_defaults(func=_cmd_soak)
 
     return parser
 

@@ -43,6 +43,24 @@ offending span subtree and a ring buffer of recent point events
 and is marked in the trace itself as an ``audit.violation`` event so it
 exports alongside JSONL/Chrome traces.
 
+**Streaming vs deep mode.**  The auditor runs in one of two modes:
+
+* ``mode="deep"`` (default) — every monitor, including the two that
+  need the *full* run history (history-capture and one-copy
+  serializability).  Memory grows with the run; right for tier-1
+  workloads and forensic investigation.
+* ``mode="streaming"`` — the five online monitors rewritten as
+  streaming folds over the span stream with per-object sliding windows
+  (:func:`streaming_monitors`).  State is O(window), independent of run
+  length, so auditing rides along a million-op soak at full speed.  The
+  per-monitor window-guarantee table (what a window of W catches versus
+  provably misses) lives in ``docs/OBSERVABILITY.md``.
+
+On identical span streams the two modes produce byte-identical
+verdicts for the five streaming invariants
+(:meth:`AuditReport.verdict` with :data:`STREAMING_INVARIANTS`) —
+pinned by the ``pytest -m streaming`` suite.
+
 Usage::
 
     tracer = Tracer()
@@ -56,7 +74,7 @@ Usage::
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
@@ -64,6 +82,7 @@ from repro.histories.serialization import serialize
 from repro.obs.export import render_tree
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Span, TraceListener, Tracer
+from repro.txn.ids import ActionId
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.replication.object import ReplicatedObject
@@ -214,8 +233,27 @@ class InvariantMonitor:
     def on_point_event(self, span: Span) -> None:
         """A point event (crash, partition, repository read/write) fired."""
 
+    def on_clear(self) -> None:
+        """The tracer was cleared: drop per-epoch state.
+
+        Everything accumulated from the span stream belongs to the
+        epoch that was just discarded; carrying it forward would check
+        post-clear spans against a forgotten past.  Configuration
+        captured at :meth:`bind` time (declared quorums, placement)
+        survives — it describes the cluster, not the epoch.
+        """
+
     def at_end(self) -> None:
         """End-of-run checks (serializability, final sweeps)."""
+
+    def state_cells(self) -> int:
+        """How many state entries the monitor currently retains.
+
+        The bounded-memory soak tracks the high-water mark of this sum
+        across all monitors as evidence that streaming audit state
+        really is O(window).
+        """
+        return 0
 
 
 # -- the monitors ------------------------------------------------------------
@@ -234,19 +272,54 @@ class QuorumIntersectionMonitor(InvariantMonitor):
     * every observed initial quorum must intersect every observed final
       quorum of a class the dependency relation (or the declared
       assignment itself) requires it to intersect.
+
+    With ``window=W`` the monitor becomes a streaming fold: each
+    per-class store keeps only the W most recently seen *distinct*
+    quorum member sets (LRU).  The declared-coterie membership check is
+    stateless and always exact; the pairwise-intersection check can
+    miss a disjoint pair only when the two quorums are separated by
+    more than W other distinct member sets of the same class — in
+    practice quorum assignments draw from a handful of member sets, so
+    even small windows see every pair.
     """
 
     name = "quorum-intersection"
 
-    def __init__(self) -> None:
+    def __init__(self, *, window: int | None = None) -> None:
         super().__init__()
+        self.window = window
         #: object -> (declared assignment, relation class keys)
         self._declared: dict[str, tuple[Any, frozenset[tuple[str, str, str]]]] = {}
         self._must_intersect: dict[tuple[str, str, str, str], bool] = {}
-        #: (object, op) -> distinct observed initial quorums
-        self._initials: dict[tuple[str, str], set[frozenset[int]]] = {}
-        #: (object, op, kind) -> distinct observed final quorums
-        self._finals: dict[tuple[str, str, str], set[frozenset[int]]] = {}
+        #: (object, op) -> distinct observed initial quorums (LRU order)
+        self._initials: dict[tuple[str, str], OrderedDict[frozenset[int], None]] = {}
+        #: (object, op, kind) -> distinct observed final quorums (LRU order)
+        self._finals: dict[
+            tuple[str, str, str], OrderedDict[frozenset[int], None]
+        ] = {}
+
+    def _remember(
+        self,
+        store: dict[Any, OrderedDict[frozenset[int], None]],
+        key: Any,
+        members: frozenset[int],
+    ) -> None:
+        bucket = store.setdefault(key, OrderedDict())
+        if members in bucket:
+            bucket.move_to_end(members)
+            return
+        bucket[members] = None
+        if self.window is not None and len(bucket) > self.window:
+            bucket.popitem(last=False)
+
+    def on_clear(self) -> None:
+        self._initials.clear()
+        self._finals.clear()
+
+    def state_cells(self) -> int:
+        return sum(len(b) for b in self._initials.values()) + sum(
+            len(b) for b in self._finals.values()
+        )
 
     def bind(self, auditor: "Auditor") -> None:
         super().bind(auditor)
@@ -297,7 +370,7 @@ class QuorumIntersectionMonitor(InvariantMonitor):
                     span=span,
                     object_name=obj_name,
                 )
-            self._initials.setdefault((obj_name, op), set()).add(members)
+            self._remember(self._initials, (obj_name, op), members)
             for (o2, ev_op, kind), finals in self._finals.items():
                 if o2 != obj_name or not self._required(obj_name, op, ev_op, kind):
                     continue
@@ -322,7 +395,7 @@ class QuorumIntersectionMonitor(InvariantMonitor):
                     span=span,
                     object_name=obj_name,
                 )
-            self._finals.setdefault((obj_name, op, kind), set()).add(members)
+            self._remember(self._finals, (obj_name, op, kind), members)
             for (o2, inv_op), initials in self._initials.items():
                 if o2 != obj_name or not self._required(obj_name, inv_op, op, kind):
                     continue
@@ -348,6 +421,10 @@ class LockDisciplineMonitor(InvariantMonitor):
     two-phase locking.  The monitor counts each transaction's executed
     operations per object and, at every operation completion, checks
     the synchronization state still holds at least that many events.
+
+    Already a streaming fold: state is one counter per (object, *active*
+    transaction) pair, dropped when the transaction ends — naturally
+    windowed by transaction lifetime, nothing for a span window to miss.
     """
 
     name = "lock-discipline"
@@ -355,6 +432,12 @@ class LockDisciplineMonitor(InvariantMonitor):
     def __init__(self) -> None:
         super().__init__()
         self._executed: dict[tuple[str, Any], int] = {}
+
+    def on_clear(self) -> None:
+        self._executed.clear()
+
+    def state_cells(self) -> int:
+        return len(self._executed)
 
     def on_operation(self, record: OperationRecord) -> None:
         key = (record.obj.name, record.txn.id)
@@ -392,6 +475,10 @@ class TimestampOrderMonitor(InvariantMonitor):
     a monotone Lamport clock — so each transaction's commit timestamp
     must strictly follow its begin timestamp, and commits observed in
     real order must carry strictly increasing timestamps.
+
+    Already a streaming fold: O(1) state (the last commit seen) — a
+    monotonicity check is incremental by nature, nothing for a span
+    window to miss.
     """
 
     name = "timestamp-order"
@@ -399,6 +486,12 @@ class TimestampOrderMonitor(InvariantMonitor):
     def __init__(self) -> None:
         super().__init__()
         self._last_commit: tuple[Any, Any] | None = None  # (ts, txn id)
+
+    def on_clear(self) -> None:
+        self._last_commit = None
+
+    def state_cells(self) -> int:
+        return 0 if self._last_commit is None else 1
 
     def on_transaction_end(self, span: Span, txn: "Transaction") -> None:
         if span.outcome != "committed":
@@ -439,21 +532,41 @@ class LogConsistencyMonitor(InvariantMonitor):
     folds every repository write into a per-object timestamp map
     (incrementally, on ``repo.write`` events) and sweeps all
     repositories once more at end of run.
+
+    With ``window=W`` the canonical map becomes a sliding window over
+    the W most recently first-seen timestamps per object, and the
+    per-replica verified sets track the *current* log instead of the
+    union of everything ever seen (so compacted entries are released).
+    A divergence is then caught unless the conflicting entry arrives
+    after more than W newer timestamps were first seen — replicas that
+    lag by less than the window are always checked exactly.
     """
 
     name = "log-consistency"
 
-    def __init__(self) -> None:
+    def __init__(self, *, window: int | None = None) -> None:
         super().__init__()
-        self._canonical: dict[str, dict[Any, tuple[Any, Any]]] = {}
+        self.window = window
+        self._canonical: dict[str, OrderedDict[Any, tuple[Any, Any]]] = {}
         #: (site, object) -> the entry set already checked against
         #: canonical.  Logs grow by set-merge, so a previously verified
         #: entry can never *become* conflicting; diffing frozensets
         #: (which reuses their stored hashes) keeps each write scan
         #: O(new entries) instead of re-sorting and re-hashing the whole
         #: log — a conflicting entry is by construction one we have not
-        #: seen.
+        #: seen.  Deep mode unions the sets (a monotone high-water
+        #: mark); windowed mode stores the latest log snapshot so
+        #: compaction can actually release memory.
         self._verified: dict[tuple[int, str], frozenset[Any]] = {}
+
+    def on_clear(self) -> None:
+        self._canonical.clear()
+        self._verified.clear()
+
+    def state_cells(self) -> int:
+        return sum(len(m) for m in self._canonical.values()) + len(
+            self._verified
+        )
 
     def on_point_event(self, span: Span) -> None:
         if span.name != "repo.write" or span.site is None:
@@ -479,11 +592,14 @@ class LogConsistencyMonitor(InvariantMonitor):
         key = (site, obj_name)
         verified = self._verified.get(key)
         fresh = entries if verified is None else entries - verified
-        self._verified[key] = entries if verified is None else verified | entries
+        if self.window is not None or verified is None:
+            self._verified[key] = entries
+        else:
+            self._verified[key] = verified | entries
         if not fresh:
             return
-        canonical = self._canonical.setdefault(obj_name, {})
-        for entry in fresh:
+        canonical = self._canonical.setdefault(obj_name, OrderedDict())
+        for entry in sorted(fresh, key=lambda e: e.ts):
             identity = (entry.action, entry.event)
             seen = canonical.setdefault(entry.ts, identity)
             if seen != identity:
@@ -494,6 +610,9 @@ class LogConsistencyMonitor(InvariantMonitor):
                     span=span,
                     object_name=obj_name,
                 )
+        if self.window is not None:
+            while len(canonical) > self.window:
+                canonical.popitem(last=False)
 
 
 class HistoryConsistencyMonitor(InvariantMonitor):
@@ -506,12 +625,26 @@ class HistoryConsistencyMonitor(InvariantMonitor):
     :class:`~repro.histories.behavioral.BehavioralHistory` values — the
     observability path is only trustworthy if it cannot drift from the
     system of record.
+
+    Deep mode only (the comparison needs the full captured history).  A
+    mid-run :meth:`Tracer.clear` discards the captured prefix, so the
+    monitor goes inert for the rest of the run rather than comparing a
+    suffix against the runtime's full record.
     """
 
     name = "history-capture"
 
+    def __init__(self) -> None:
+        super().__init__()
+        self._cleared = False
+
+    def on_clear(self) -> None:
+        self._cleared = True
+
     def at_end(self) -> None:
         assert self.auditor is not None
+        if self._cleared:
+            return
         for name, obj in self.auditor.objects().items():
             captured = self.auditor.history(name)
             recorded = obj.recorder.to_behavioral_history()
@@ -535,12 +668,26 @@ class SerializabilityMonitor(InvariantMonitor):
     serialization means the run was not one-copy serializable in the
     scheme's order: the replicated object diverged from a single
     reliable copy.
+
+    Deep mode only: a *suffix* of a run serialized from the initial
+    state is not a legal serial history even when the run is correct,
+    so after a mid-run :meth:`Tracer.clear` the monitor goes inert
+    rather than false-flag the surviving epoch.
     """
 
     name = "one-copy-serializability"
 
+    def __init__(self) -> None:
+        super().__init__()
+        self._cleared = False
+
+    def on_clear(self) -> None:
+        self._cleared = True
+
     def at_end(self) -> None:
         assert self.auditor is not None
+        if self._cleared:
+            return
         for name, obj in self.auditor.objects().items():
             history = self.auditor.history(name)
             order_kind = getattr(obj.cc, "serialization_order", "commit")
@@ -658,6 +805,39 @@ def default_monitors() -> list[InvariantMonitor]:
     ]
 
 
+#: Default sliding-window size for streaming monitors.
+DEFAULT_STREAM_WINDOW = 256
+
+#: The invariants the streaming monitor set checks — the five online
+#: checks; history-capture and one-copy-serializability need the full
+#: history and stay deep-mode-only.
+STREAMING_INVARIANTS = (
+    "quorum-intersection",
+    "lock-discipline",
+    "timestamp-order",
+    "log-consistency",
+    "genuine-partial-replication",
+)
+
+
+def streaming_monitors(
+    window: int = DEFAULT_STREAM_WINDOW,
+) -> list[InvariantMonitor]:
+    """The O(window) online monitor set, in check order.
+
+    Same invariant names and same verdicts as the corresponding deep
+    monitors on any span stream whose relevant state fits the window
+    (see each monitor's docstring for the exact guarantee).
+    """
+    return [
+        QuorumIntersectionMonitor(window=window),
+        LockDisciplineMonitor(),
+        TimestampOrderMonitor(),
+        LogConsistencyMonitor(window=window),
+        PartialReplicationMonitor(),
+    ]
+
+
 # -- the report --------------------------------------------------------------
 
 
@@ -672,6 +852,14 @@ class AuditReport:
     transactions: int
     spans_seen: int
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Audit mode that produced this report ("deep" or "streaming").
+    mode: str = "deep"
+    #: Sliding-window size (``None`` in deep mode).
+    window: int | None = None
+    #: Tracer retention at finish() time and its high-water mark —
+    #: the retained-memory evidence bounded-memory claims rest on.
+    retained_spans: int = 0
+    peak_retained: int = 0
 
     @property
     def ok(self) -> bool:
@@ -717,14 +905,59 @@ class AuditReport:
     def to_dict(self) -> dict[str, Any]:
         return {
             "ok": self.ok,
+            "mode": self.mode,
+            "window": self.window,
             "monitors": list(self.monitors),
             "operations": self.operations,
             "transactions": self.transactions,
             "spans_seen": self.spans_seen,
+            "retained_spans": self.retained_spans,
+            "peak_retained": self.peak_retained,
             "violated_invariants": list(self.violated_invariants),
             "violations": [v.to_dict() for v in self.violations],
             "suppressed": dict(self.suppressed),
             "metrics": self.registry.to_dict(),
+        }
+
+    def verdict(self, invariants: Sequence[str] | None = None) -> dict[str, Any]:
+        """A machine-comparable verdict, optionally restricted to ``invariants``.
+
+        Unlike :meth:`to_dict`, the verdict excludes everything that
+        legitimately differs between audit modes over one span stream —
+        forensics (depends on tracer retention), memory marks, the
+        monitor roster — keeping exactly what both modes must agree on:
+        the violations themselves plus the operation/transaction/span
+        tallies.  ``json.dumps(report.verdict(STREAMING_INVARIANTS),
+        sort_keys=True)`` is the byte-identity contract between deep and
+        streaming audits.
+        """
+        names = None if invariants is None else frozenset(invariants)
+        kept = [
+            v
+            for v in self.violations
+            if names is None or v.invariant in names
+        ]
+        suppressed = {
+            name: count
+            for name, count in self.suppressed.items()
+            if names is None or name in names
+        }
+        return {
+            "ok": not kept and not suppressed,
+            "operations": self.operations,
+            "transactions": self.transactions,
+            "spans_seen": self.spans_seen,
+            "violations": [
+                {
+                    "invariant": v.invariant,
+                    "message": v.message,
+                    "object": v.object_name,
+                    "time": v.time,
+                    "count": v.count,
+                }
+                for v in kept
+            ],
+            "suppressed": suppressed,
         }
 
 
@@ -745,6 +978,12 @@ class Auditor(TraceListener):
     the declared configuration at attach time).  Call :meth:`finish`
     after the run for the end-of-run checks and the
     :class:`AuditReport`.
+
+    ``mode="streaming"`` swaps the default monitor roster for
+    :func:`streaming_monitors` (sliding windows of ``window``) and stops
+    capturing per-object histories — auditor state becomes O(window +
+    active transactions) regardless of run length.  Pair it with a
+    ring-retention tracer for a fully bounded pipeline.
     """
 
     def __init__(
@@ -752,6 +991,8 @@ class Auditor(TraceListener):
         cluster,
         monitors: Sequence[InvariantMonitor] | None = None,
         *,
+        mode: str = "deep",
+        window: int = DEFAULT_STREAM_WINDOW,
         recent_events: int = 32,
         max_per_invariant: int = 10,
     ):
@@ -761,13 +1002,23 @@ class Auditor(TraceListener):
                 "the auditor needs an enabled Tracer; build the cluster with "
                 "tracer=Tracer() (NullTracer records nothing to audit)"
             )
+        if mode not in ("deep", "streaming"):
+            raise ValueError(f"unknown audit mode {mode!r}")
         self._cluster = cluster
         self._tracer = tracer
         self._tm = cluster.tm
         self.repositories = tuple(cluster.repositories)
-        self._monitors = tuple(
-            monitors if monitors is not None else default_monitors()
-        )
+        self.mode = mode
+        self.window = window if mode == "streaming" else None
+        if monitors is not None:
+            self._monitors = tuple(monitors)
+        elif mode == "streaming":
+            self._monitors = tuple(streaming_monitors(window))
+        else:
+            self._monitors = tuple(default_monitors())
+        #: Streaming audits keep no per-object history recorders — that
+        #: is precisely the state that grows with the run.
+        self._capture_history = mode == "deep"
         self._recent: deque[Span] = deque(maxlen=recent_events)
         self._max_per_invariant = max_per_invariant
         self._violations: dict[tuple[str, str], Violation] = {}
@@ -888,16 +1139,42 @@ class Auditor(TraceListener):
             for monitor in self._monitors:
                 monitor.on_point_event(span)
 
+    def on_clear(self) -> None:
+        """The tracer was cleared: reset per-epoch auditor state.
+
+        Violations already found stand (they happened); captured
+        histories, the recent-event ring, cached transaction labels,
+        and every monitor's stream state belong to the dropped epoch
+        and are reset so the next epoch is not checked against it.
+        """
+        if self._finished:
+            return
+        self._recent.clear()
+        self._txn_by_label.clear()
+        self._recorders.clear()
+        for monitor in self._monitors:
+            monitor.on_clear()
+
     # -- dispatch -----------------------------------------------------------
 
     def _resolve_txn(self, label: str | None):
         if label is None:
             return None
         txn = self._txn_by_label.get(label)
+        if txn is not None:
+            return txn
+        # Span labels are str(ActionId); parse and look up in O(1)
+        # rather than rescanning the manager's transaction table (that
+        # scan is quadratic over a long run).
+        action = ActionId.parse(label)
+        if action is not None:
+            txn = self._tm.lookup(action)
         if txn is None:
+            # Foreign label shape — fall back to the full scan once.
             for candidate in self._tm.transactions():
                 self._txn_by_label.setdefault(str(candidate.id), candidate)
-            txn = self._txn_by_label.get(label)
+            return self._txn_by_label.get(label)
+        self._txn_by_label[label] = txn
         return txn
 
     def _operation_closed(self, span: Span) -> None:
@@ -922,33 +1199,48 @@ class Auditor(TraceListener):
         event = entries[-1].event
         self.operations += 1
         self._ops_counter.inc()
-        from repro.replication.object import HistoryRecorder
+        if self._capture_history:
+            from repro.replication.object import HistoryRecorder
 
-        recorder = self._recorders.setdefault(obj.name, HistoryRecorder())
-        recorder.record_op(txn, event)
+            recorder = self._recorders.setdefault(obj.name, HistoryRecorder())
+            recorder.record_op(txn, event)
         record = OperationRecord(span=span, obj=obj, txn=txn, event=event)
         for monitor in self._monitors:
             monitor.on_operation(record)
 
     def _transaction_closed(self, span: Span) -> None:
-        txn = self._resolve_txn(span.attrs.get("txn"))
+        label = span.attrs.get("txn")
+        txn = self._resolve_txn(label)
         if txn is None:
             return
         self.transactions += 1
         self._txn_counter.inc()
         committed = span.outcome == "committed"
-        for name in span.attrs.get("objects", ()):
-            recorder = self._recorders.get(name)
-            if recorder is None:
-                continue
-            if committed:
-                recorder.record_commit(txn)
-            else:
-                recorder.record_abort(txn)
+        if self._capture_history:
+            for name in span.attrs.get("objects", ()):
+                recorder = self._recorders.get(name)
+                if recorder is None:
+                    continue
+                if committed:
+                    recorder.record_commit(txn)
+                else:
+                    recorder.record_abort(txn)
         for monitor in self._monitors:
             monitor.on_transaction_end(span, txn)
+        if not self._capture_history and label is not None:
+            # A finished transaction's label can never be resolved again.
+            self._txn_by_label.pop(label, None)
 
     # -- lifecycle ----------------------------------------------------------
+
+    def retained_state(self) -> dict[str, int]:
+        """Live auditor state sizes (the streaming-boundedness evidence)."""
+        return {
+            "txn_labels": len(self._txn_by_label),
+            "recorders": len(self._recorders),
+            "recent_events": len(self._recent),
+            "monitor_cells": sum(m.state_cells() for m in self._monitors),
+        }
 
     def finish(self) -> AuditReport:
         """Run end-of-run checks, detach, and return the report."""
@@ -961,6 +1253,10 @@ class Auditor(TraceListener):
             self._tracer.remove_listener(self)
         except ValueError:  # pragma: no cover - already detached
             pass
+        retained = getattr(self._tracer, "retained_spans", 0)
+        peak = getattr(self._tracer, "peak_retained", 0)
+        self.registry.gauge("obs.retained_spans").set(float(retained))
+        self.registry.gauge("obs.peak_retained").set(float(peak))
         self._report = AuditReport(
             violations=tuple(self._violations.values()),
             suppressed=dict(self._suppressed),
@@ -969,5 +1265,9 @@ class Auditor(TraceListener):
             transactions=self.transactions,
             spans_seen=self.spans_seen,
             registry=self.registry,
+            mode=self.mode,
+            window=self.window,
+            retained_spans=retained,
+            peak_retained=peak,
         )
         return self._report

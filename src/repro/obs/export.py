@@ -11,14 +11,22 @@ Three renderings of the same span forest:
   ``chrome://tracing`` / Perfetto: complete (``"ph": "X"``) events with
   microsecond ``ts``/``dur``, instant events for point markers, one
   track (``tid``) per site.
+
+Each batch exporter materializes the whole span list, which caps trace
+size at available memory.  The streaming counterparts —
+:class:`JsonlStreamWriter` and :class:`ChromeTraceStreamWriter` — are
+:class:`~repro.obs.trace.TraceListener`\\ s that flush each span to a
+file handle the moment it closes, so a ring-retention tracer
+(``Tracer(retention="ring", window=W)``) can export a run of any length
+in O(window) memory.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterable, Sequence
+from typing import IO, Iterable, Sequence
 
-from repro.obs.trace import Span
+from repro.obs.trace import Span, TraceListener
 
 #: Chrome trace timestamps are integral microseconds; simulated time is
 #: unit-free, so scale it up enough that sub-unit latencies stay visible.
@@ -95,6 +103,54 @@ def render_tree(spans: Sequence[Span]) -> str:
 # -- Chrome trace format ----------------------------------------------------
 
 
+#: The ``otherData`` block every Chrome-trace document carries.
+_CHROME_OTHER_DATA = {"source": "repro.obs", "clock": "simulated"}
+
+
+def _chrome_event(span: Span) -> dict:
+    """One span as a Chrome trace event (complete or instant)."""
+    tid = span.site if span.site is not None else -1
+    args = {"outcome": span.outcome, "span_id": span.span_id}
+    for key, value in span.attrs.items():
+        if isinstance(value, (list, tuple, set, frozenset)):
+            value = [str(v) for v in sorted(value, key=str)]
+        args[key] = value
+    base = {
+        "name": span.name,
+        "cat": span.kind,
+        "pid": 0,
+        "tid": tid,
+        "ts": span.start * _CHROME_TIME_SCALE,
+        "args": args,
+    }
+    if span.kind == "event" or not span.finished:
+        return {**base, "ph": "i", "s": "t"}
+    return {**base, "ph": "X", "dur": max(0.0, span.duration) * _CHROME_TIME_SCALE}
+
+
+def _chrome_process_metadata() -> dict:
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": 0,
+        "tid": 0,
+        "ts": 0,
+        "args": {"name": "repro simulated cluster"},
+    }
+
+
+def _chrome_thread_metadata(tid: int) -> dict:
+    label = "coordinator" if tid < 0 else f"site {tid}"
+    return {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": 0,
+        "tid": tid,
+        "ts": 0,
+        "args": {"name": label},
+    }
+
+
 def to_chrome_trace(spans: Sequence[Span]) -> str:
     """The span forest as Chrome trace-event JSON.
 
@@ -105,62 +161,108 @@ def to_chrome_trace(spans: Sequence[Span]) -> str:
     events (``ph: "M"``) name the process and each site track, so the
     viewer shows "site 2" instead of a bare tid.
     """
-    events = []
-    tids: set[int] = set()
-    for span in spans:
-        tid = span.site if span.site is not None else -1
-        tids.add(tid)
-        args = {"outcome": span.outcome, "span_id": span.span_id}
-        for key, value in span.attrs.items():
-            if isinstance(value, (list, tuple, set, frozenset)):
-                value = [str(v) for v in sorted(value, key=str)]
-            args[key] = value
-        base = {
-            "name": span.name,
-            "cat": span.kind,
-            "pid": 0,
-            "tid": tid,
-            "ts": span.start * _CHROME_TIME_SCALE,
-            "args": args,
-        }
-        if span.kind == "event" or not span.finished:
-            events.append({**base, "ph": "i", "s": "t"})
-        else:
-            events.append(
-                {
-                    **base,
-                    "ph": "X",
-                    "dur": max(0.0, span.duration) * _CHROME_TIME_SCALE,
-                }
-            )
-    metadata = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 0,
-            "tid": 0,
-            "ts": 0,
-            "args": {"name": "repro simulated cluster"},
-        }
-    ]
-    for tid in sorted(tids):
-        label = "coordinator" if tid < 0 else f"site {tid}"
-        metadata.append(
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 0,
-                "tid": tid,
-                "ts": 0,
-                "args": {"name": label},
-            }
-        )
+    events = [_chrome_event(span) for span in spans]
+    tids = sorted({event["tid"] for event in events})
+    metadata = [_chrome_process_metadata()]
+    metadata.extend(_chrome_thread_metadata(tid) for tid in tids)
     document = {
         "traceEvents": metadata + events,
         "displayTimeUnit": "ms",
-        "otherData": {"source": "repro.obs", "clock": "simulated"},
+        "otherData": dict(_CHROME_OTHER_DATA),
     }
     return json.dumps(document, indent=2)
+
+
+# -- streaming writers ------------------------------------------------------
+
+
+class JsonlStreamWriter(TraceListener):
+    """Flush each span as one JSONL line the moment it closes.
+
+    Attach to a tracer with :meth:`~repro.obs.trace.Tracer.add_listener`;
+    the produced stream is line-for-line identical to :func:`to_jsonl`
+    over the same spans (in close order rather than creation order),
+    and :func:`parse_jsonl` reads it back.
+    """
+
+    def __init__(self, handle: IO[str]):
+        self._handle = handle
+        self.spans_written = 0
+
+    def on_span_end(self, span: Span) -> None:
+        self._handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        self.spans_written += 1
+
+    def close(self) -> None:
+        """Flush buffered output (the handle itself stays open)."""
+        self._handle.flush()
+
+
+class ChromeTraceStreamWriter(TraceListener):
+    """Incrementally write a Chrome trace document, one event per close.
+
+    The document envelope (``otherData``, ``displayTimeUnit``, the
+    ``traceEvents`` opening bracket) is written up front; each closing
+    span appends one event built by the same helper the batch exporter
+    uses, and per-track metadata is emitted the first time a track
+    (site) appears.  :meth:`close` terminates the array and object —
+    until then the file is a truncated-but-recoverable JSON prefix,
+    which is the normal trade of streaming trace writers.
+    """
+
+    def __init__(self, handle: IO[str]):
+        self._handle = handle
+        self._seen_tids: set[int] = set()
+        self._events_written = 0
+        #: Span events flushed (excludes process/thread metadata events).
+        self.spans_written = 0
+        self._closed = False
+        handle.write(
+            '{"displayTimeUnit": "ms", "otherData": '
+            + json.dumps(_CHROME_OTHER_DATA, sort_keys=True)
+            + ', "traceEvents": [\n'
+        )
+        self._append(_chrome_process_metadata())
+
+    def _append(self, event: dict) -> None:
+        prefix = ",\n" if self._events_written else ""
+        self._handle.write(prefix + json.dumps(event))
+        self._events_written += 1
+
+    def on_span_end(self, span: Span) -> None:
+        if self._closed:
+            return
+        tid = span.site if span.site is not None else -1
+        if tid not in self._seen_tids:
+            self._seen_tids.add(tid)
+            self._append(_chrome_thread_metadata(tid))
+        self._append(_chrome_event(span))
+        self.spans_written += 1
+
+    def close(self) -> None:
+        """Terminate the JSON document; further spans are ignored."""
+        if not self._closed:
+            self._closed = True
+            self._handle.write("\n]}\n")
+            self._handle.flush()
+
+
+#: Formats that support incremental stream-flushing.
+STREAM_WRITERS = {
+    "jsonl": JsonlStreamWriter,
+    "chrome": ChromeTraceStreamWriter,
+}
+
+
+def open_stream_writer(fmt: str, handle: IO[str]) -> TraceListener:
+    """A stream-flushing writer for ``fmt`` ('jsonl' or 'chrome')."""
+    try:
+        writer = STREAM_WRITERS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"format {fmt!r} cannot stream; choose from {sorted(STREAM_WRITERS)}"
+        ) from None
+    return writer(handle)
 
 
 EXPORTERS = {

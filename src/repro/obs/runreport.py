@@ -1,0 +1,76 @@
+"""Machine-readable run artifacts: ``plan.json`` + ``report.json``.
+
+Every workload-shaped CLI entry point (``report``, ``bench``, ``audit``,
+``chaos``, ``soak``) can emit a sans-style artifact pair into a
+directory given by ``--artifacts DIR``:
+
+* ``plan.json``   — what was *about to run*: the subcommand, the
+  workload shape (seed, sites, objects, placement, transactions), the
+  fault schedule, and the observability configuration (retention mode,
+  window, streaming/deep audit) — everything needed to re-run the
+  experiment;
+* ``report.json`` — what *happened*: verdicts, violation forensics,
+  outcome tallies, wall/sim timings, and the retained-memory high-water
+  marks (``obs.retained_spans`` / ``obs.peak_retained``).
+
+Both files are JSON with sorted keys and a fixed two-space indent, so
+diffs between runs are stable and tooling can treat them as canonical.
+Each carries an ``artifact`` discriminator and a schema ``version`` so
+downstream consumers can dispatch without guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Mapping
+
+__all__ = ["make_plan", "make_report", "write_run_artifacts"]
+
+#: Bumped when the envelope shape changes incompatibly.
+ARTIFACT_VERSION = 1
+
+
+def make_plan(command: str, **sections: Any) -> dict[str, Any]:
+    """The ``plan.json`` envelope: intent, before the run."""
+    plan: dict[str, Any] = {
+        "artifact": "plan",
+        "version": ARTIFACT_VERSION,
+        "command": command,
+    }
+    plan.update(sections)
+    return plan
+
+
+def make_report(
+    command: str, *, ok: bool, **sections: Any
+) -> dict[str, Any]:
+    """The ``report.json`` envelope: outcome, after the run."""
+    report: dict[str, Any] = {
+        "artifact": "report",
+        "version": ARTIFACT_VERSION,
+        "command": command,
+        "ok": bool(ok),
+    }
+    report.update(sections)
+    return report
+
+
+def write_run_artifacts(
+    directory: str,
+    plan: Mapping[str, Any],
+    report: Mapping[str, Any],
+) -> tuple[str, str]:
+    """Write ``plan.json`` and ``report.json`` under ``directory``.
+
+    Creates the directory if needed; returns the two paths written.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for name, payload in (("plan.json", plan), ("report.json", report)):
+        path = os.path.join(directory, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        paths.append(path)
+    return paths[0], paths[1]

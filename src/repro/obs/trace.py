@@ -24,10 +24,30 @@ Two usage styles:
 Time comes from whatever clock the tracer is bound to (normally the
 simulator, via :meth:`Tracer.bind_clock`), so timestamps are simulated
 time, deterministic per seed.
+
+**Span retention** is a policy, not a given.  Listeners (the streaming
+auditor, the stream exporters) see *every* span regardless; retention
+only controls what the tracer itself keeps for after-the-fact
+inspection (``spans``, ``walk``, forensics):
+
+* ``retention="all"`` — keep everything (the default; exact PR-1
+  behavior, memory grows with the run);
+* ``retention="ring"`` — keep the last ``window`` spans in a ring
+  buffer: O(window) memory, enough tail for violation forensics;
+* ``retention="consume"`` — release each span as soon as its close has
+  been streamed to the listeners; only *open* spans are retained, so a
+  pure streaming consumer pays O(concurrent spans).
+
+``retained_spans`` / ``peak_retained`` expose the live count and its
+high-water mark; :func:`process_peak_retained` tracks the largest
+single-tracer high-water mark process-wide so benchmark environment
+stamps can prove a run stayed bounded.
 """
 
 from __future__ import annotations
 
+import weakref
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -45,6 +65,39 @@ _OUTCOME_BY_EXCEPTION = {
     # a degraded read is outside the transaction's logged history.
     "DegradedOperation": "degraded",
 }
+
+#: Valid span-retention policies (see the module docstring).
+RETENTION_MODES = ("all", "ring", "consume")
+
+#: Default ring-buffer size when ``retention="ring"`` without a window.
+DEFAULT_WINDOW = 4096
+
+#: Live (weakly held) tracers, for process-wide retention accounting.
+_LIVE_TRACERS: "weakref.WeakSet[Tracer]" = weakref.WeakSet()
+
+#: Largest number of spans any single tracer retained at once.
+_PROCESS_PEAK_RETAINED = 0
+
+
+def process_retained_spans() -> int:
+    """Spans currently retained across every live tracer in the process."""
+    return sum(tracer.retained_spans for tracer in _LIVE_TRACERS)
+
+
+def process_peak_retained() -> int:
+    """The largest span count any single tracer has retained at once.
+
+    This is the number bounded-memory claims are made about: a soak ran
+    with a ring window of W iff this never exceeds W (plus whatever an
+    ``retention="all"`` tracer elsewhere in the process retained).
+    """
+    return _PROCESS_PEAK_RETAINED
+
+
+def reset_process_peak() -> None:
+    """Forget the process-wide high-water mark (test isolation)."""
+    global _PROCESS_PEAK_RETAINED
+    _PROCESS_PEAK_RETAINED = 0
 
 
 @dataclass
@@ -129,7 +182,10 @@ class _SpanContext:
         return self._span
 
     def __exit__(self, exc_type, exc, _tb) -> bool:
-        self._tracer._stack.pop()
+        # The guard covers Tracer.clear() inside the block: the stack is
+        # already empty then, and the span was dropped with the epoch.
+        if self._tracer._stack:
+            self._tracer._stack.pop()
         outcome = "ok"
         if exc_type is not None:
             outcome = _OUTCOME_BY_EXCEPTION.get(exc_type.__name__, "error")
@@ -160,7 +216,8 @@ class _ParentContext:
         return self._span
 
     def __exit__(self, exc_type, exc, _tb) -> bool:
-        self._tracer._stack.pop()
+        if self._tracer._stack:
+            self._tracer._stack.pop()
         return False
 
 
@@ -170,14 +227,20 @@ class TraceListener:
     Listeners see every span twice: once when it opens (attributes may
     still be incomplete) and once when it closes (attributes final).
     Point events produced by :meth:`Tracer.event` arrive as a single
-    start + end pair.  The online auditor (:mod:`repro.obs.audit`) is
-    the principal listener; anything with these two methods qualifies.
+    start + end pair.  :meth:`Tracer.clear` announces itself through
+    ``on_clear`` so stateful listeners drop per-epoch state instead of
+    carrying it across the reset.  The online auditor
+    (:mod:`repro.obs.audit`) is the principal listener; anything with
+    these methods qualifies.
     """
 
     def on_span_start(self, span: Span) -> None:  # pragma: no cover - interface
         pass
 
     def on_span_end(self, span: Span) -> None:  # pragma: no cover - interface
+        pass
+
+    def on_clear(self) -> None:  # pragma: no cover - interface
         pass
 
 
@@ -188,14 +251,44 @@ class Tracer:
     #: skip expensive attribute computation when nobody is listening.
     enabled: bool = True
 
-    def __init__(self, clock: Any | None = None):
+    def __init__(
+        self,
+        clock: Any | None = None,
+        *,
+        retention: str = "all",
+        window: int | None = None,
+    ):
         #: Anything with a ``now`` attribute in simulated time units
         #: (normally the :class:`~repro.sim.kernel.Simulator`).
         self._clock = clock if clock is not None else _CountingClock()
-        self._spans: list[Span] = []
+        if retention not in RETENTION_MODES:
+            raise ValueError(
+                f"unknown retention {retention!r}; pick one of {RETENTION_MODES}"
+            )
+        if window is not None and window < 1:
+            raise ValueError("window must be a positive span count")
+        self.retention = retention
+        #: Effective ring size (``None`` unless ``retention="ring"``).
+        self.window = (
+            (window if window is not None else DEFAULT_WINDOW)
+            if retention == "ring"
+            else None
+        )
+        if retention == "ring":
+            self._spans: Any = deque(maxlen=self.window)
+        elif retention == "consume":
+            # Insertion-ordered map of *open* spans; closed spans are
+            # released the moment listeners have consumed them.
+            self._spans = {}
+        else:
+            self._spans = []
+        #: High-water mark of :attr:`retained_spans` (survives clear()).
+        self.peak_retained = 0
         self._stack: list[Span] = []
         self._next_id = 1
         self._listeners: list[TraceListener] = []
+        if type(self).enabled:
+            _LIVE_TRACERS.add(self)
 
     def bind_clock(self, clock: Any) -> None:
         """Read timestamps from ``clock.now`` from here on."""
@@ -243,7 +336,16 @@ class Tracer:
             attrs=attrs,
         )
         self._next_id += 1
-        self._spans.append(span)
+        if self.retention == "consume":
+            self._spans[span.span_id] = span
+        else:
+            self._spans.append(span)
+        count = len(self._spans)
+        if count > self.peak_retained:
+            self.peak_retained = count
+            global _PROCESS_PEAK_RETAINED
+            if count > _PROCESS_PEAK_RETAINED:
+                _PROCESS_PEAK_RETAINED = count
         for listener in self._listeners:
             listener.on_span_start(span)
         return span
@@ -254,6 +356,8 @@ class Tracer:
             span.outcome = outcome
             for listener in self._listeners:
                 listener.on_span_end(span)
+            if self.retention == "consume":
+                self._spans.pop(span.span_id, None)
 
     def span(
         self,
@@ -282,36 +386,49 @@ class Tracer:
         span.end = span.start
         for listener in self._listeners:
             listener.on_span_end(span)
+        if self.retention == "consume":
+            self._spans.pop(span.span_id, None)
         return span
 
     # -- inspection ---------------------------------------------------------
 
+    def _retained(self) -> Any:
+        """The retained spans as an iterable, regardless of store shape."""
+        if self.retention == "consume":
+            return self._spans.values()
+        return self._spans
+
+    @property
+    def retained_spans(self) -> int:
+        """How many spans the tracer currently holds (policy-dependent)."""
+        return len(self._spans)
+
     @property
     def spans(self) -> tuple[Span, ...]:
-        """All spans in creation order (open spans included)."""
-        return tuple(self._spans)
+        """Retained spans in creation order (open spans included)."""
+        return tuple(self._retained())
 
     def finished_spans(self) -> tuple[Span, ...]:
-        return tuple(span for span in self._spans if span.finished)
+        return tuple(span for span in self._retained() if span.finished)
 
     def children_of(self, span: Span | None) -> tuple[Span, ...]:
         parent_id = None if span is None else span.span_id
-        return tuple(s for s in self._spans if s.parent_id == parent_id)
+        return tuple(s for s in self._retained() if s.parent_id == parent_id)
 
     def roots(self) -> tuple[Span, ...]:
-        """Spans with no recorded parent, in start order."""
-        ids = {span.span_id for span in self._spans}
+        """Spans with no retained parent, in start order."""
+        ids = {span.span_id for span in self._retained()}
         return tuple(
             span
-            for span in self._spans
+            for span in self._retained()
             if span.parent_id is None or span.parent_id not in ids
         )
 
     def walk(self) -> Iterator[tuple[Span, int]]:
-        """Depth-first (span, depth) pairs over the whole forest."""
+        """Depth-first (span, depth) pairs over the retained forest."""
         by_parent: dict[int | None, list[Span]] = {}
-        ids = {span.span_id for span in self._spans}
-        for span in self._spans:
+        ids = {span.span_id for span in self._retained()}
+        for span in self._retained():
             key = span.parent_id if span.parent_id in ids else None
             by_parent.setdefault(key, []).append(span)
 
@@ -323,8 +440,18 @@ class Tracer:
         yield from visit(None, 0)
 
     def clear(self) -> None:
+        """Drop retained spans and reset the context stack.
+
+        Span ids keep counting up (a cleared tracer never reissues an
+        id) and ``peak_retained`` keeps its high-water mark.  Listeners
+        are told via :meth:`TraceListener.on_clear` so stateful
+        consumers reset per-epoch state rather than checking post-clear
+        spans against a forgotten past.
+        """
         self._spans.clear()
         self._stack.clear()
+        for listener in self._listeners:
+            listener.on_clear()
 
 
 class _NullSpan(Span):

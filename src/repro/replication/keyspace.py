@@ -53,6 +53,7 @@ __all__ = [
     "Router",
     "demo_keyspace",
     "demo_mix",
+    "soak_keyspace",
 ]
 
 
@@ -362,6 +363,51 @@ def demo_keyspace(
                 )
             )
     return KeyspaceSpec(n_sites, tuple(specs))
+
+
+def soak_keyspace(
+    n_objects: int,
+    n_sites: int,
+    *,
+    placement: str = "ring",
+    replication_factor: int = 3,
+) -> KeyspaceSpec:
+    """An all-hybrid-queue keyspace for bounded-memory soak runs.
+
+    :func:`demo_keyspace` cycles in static registers and dynamic
+    counters, but the soak's maintenance loop leans on log compaction
+    (:mod:`repro.replication.snapshot`), which requires commit-order
+    serialization — static atomicity cannot compact at all, and the
+    dynamic counter's view-time responses do not replay as a commit
+    order serialization.  Hybrid FIFO queues are the paper's
+    headline mechanism *and* compaction-friendly, so the soak shards
+    the workload across ``n_objects`` of them.  Deterministic: same
+    arguments, same spec.
+    """
+    from repro.dependency import known
+    from repro.types import Queue
+
+    if placement == "all":
+        rule = PlacementRule.all()
+    elif placement == "ring":
+        rule = PlacementRule.ring(min(replication_factor, n_sites))
+    else:
+        raise SpecificationError(
+            f"unknown soak placement {placement!r} (use 'all' or 'ring')"
+        )
+    queue = Queue()
+    relation = known.ground(queue, known.QUEUE_STATIC, 5)
+    specs = tuple(
+        ObjectSpec(
+            f"queue-{index}",
+            queue,
+            scheme="hybrid",
+            placement=rule,
+            relation=relation,
+        )
+        for index in range(n_objects)
+    )
+    return KeyspaceSpec(n_sites, specs)
 
 
 def demo_mix(spec: KeyspaceSpec):

@@ -95,6 +95,24 @@ class SynchronizationState:
             result.extend(events)
         return tuple(result)
 
+    def trim_committed(self, floor: Timestamp) -> int:
+        """Drop committed groups with commit timestamp ≤ ``floor``.
+
+        Bounded-memory maintenance: the committed-group list otherwise
+        grows for the life of the object.  Only static certification
+        (:meth:`committed_split`) consults the full committed history
+        at commit time, so trimming is sound solely for commit-order
+        schemes — callers gate on ``cc.serialization_order``, exactly
+        as log compaction does, and pass the compaction snapshot's
+        ``last_commit_ts`` so trimmed groups are precisely the folded
+        ones.  Returns how many groups were dropped.
+        """
+        before = len(self._committed)
+        self._committed = [
+            group for group in self._committed if not group[1] <= floor
+        ]
+        return before - len(self._committed)
+
 
 @dataclass
 class HistoryRecorder:
@@ -112,6 +130,24 @@ class HistoryRecorder:
 
     def record_abort(self, txn: Transaction) -> None:
         self.trace.append(("abort", txn.id, None))
+
+    def forget(self, actions: "frozenset[ActionId] | set[ActionId]") -> int:
+        """Drop trace rows and begin stamps of fully retired actions.
+
+        Bounded-memory maintenance, paired with transaction retirement:
+        once a cluster-wide compaction has folded an action out of every
+        log, its trace rows serve no live consumer (deep audits that
+        need full histories don't run maintenance).  Afterwards
+        :meth:`to_behavioral_history` describes the surviving suffix
+        only.  Returns the number of rows dropped.
+        """
+        if not actions:
+            return 0
+        before = len(self.trace)
+        self.trace = [row for row in self.trace if row[1] not in actions]
+        for action in actions:
+            self.begin_ts.pop(action, None)
+        return before - len(self.trace)
 
     def to_behavioral_history(self) -> BehavioralHistory:
         """The object's behavioral history in the kernel's canonical form.

@@ -161,6 +161,27 @@ class Repository:
         if self.journal is not None:
             self.journal.record_snapshot(object_name, snapshot, filtered)
 
+    def replace_snapshot(self, object_name: str, snapshot) -> None:
+        """Administratively swap the stored snapshot, bypassing subsumption.
+
+        The maintenance hook behind :meth:`Snapshot.prune`: a pruned
+        snapshot deliberately *shrinks* coverage bookkeeping, which the
+        monotone :meth:`install_snapshot` refuses.  The caller asserts
+        equivalence — every pruned action's entries are already gone
+        from every replica log, so the smaller snapshot filters and
+        seeds views identically.  The log is re-filtered and the
+        version bumped exactly as a real installation would.
+        """
+        self._snapshots[object_name] = snapshot
+        log = self._logs.get(object_name, Log())
+        filtered = Log(
+            entry for entry in log if entry.action not in snapshot.dropped
+        )
+        self._logs[object_name] = filtered
+        self._bump(object_name)
+        if self.journal is not None:
+            self.journal.record_snapshot(object_name, snapshot, filtered)
+
     def append_entry(self, object_name: str, entry: LogEntry) -> None:
         """Merge a single entry (used by anti-entropy and tests)."""
         self.writes_served += 1

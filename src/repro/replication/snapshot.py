@@ -25,7 +25,8 @@ their covered entries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from functools import cached_property
 from typing import Hashable
 
 from repro.clocks.timestamps import Timestamp
@@ -53,6 +54,10 @@ class Snapshot:
     events_folded: int
     #: Aborted actions whose entries are garbage (never serialize).
     discarded: frozenset[ActionId] = frozenset()
+    #: Action ids already *pruned* from the coverage bookkeeping (see
+    #: :meth:`prune`) — a count, because the whole point of pruning is
+    #: not to keep the ids.
+    retired: int = 0
 
     def subsumes(self, other: "Snapshot | None") -> bool:
         return other is None or (
@@ -60,10 +65,41 @@ class Snapshot:
             and other.discarded <= self.discarded
         )
 
-    @property
+    @cached_property
     def dropped(self) -> frozenset[ActionId]:
-        """Every action whose entries repositories may discard."""
+        """Every action whose entries repositories may discard.
+
+        Cached: repositories consult this on every write-filter, and
+        over a long run the union would otherwise be recomputed
+        millions of times.  (``cached_property`` stores through
+        ``__dict__``, which frozen non-slots dataclasses permit.)
+        """
         return self.covered | self.discarded
+
+    def prune(self, keep: frozenset[ActionId] = frozenset()) -> "Snapshot":
+        """This snapshot with coverage bookkeeping outside ``keep`` forgotten.
+
+        ``covered``/``discarded`` grow with every compaction, so over a
+        million-op run the *bookkeeping* of compaction becomes the
+        memory leak.  Pruning is sound only at a quiesced boundary
+        where the snapshot has been installed on **every** replica of
+        the object: the pruned actions' entries are then gone from
+        every log, and no in-flight view, merge, or future compaction
+        can mention them again — remembering that they were dropped
+        serves nobody.  Callers installing a pruned snapshot must use
+        :meth:`~repro.replication.repository.Repository.replace_snapshot`
+        (administrative), since shrinking coverage fails the monotone
+        ``install_snapshot`` subsumption check by design.
+        """
+        retired = len(self.covered - keep) + len(self.discarded - keep)
+        if not retired:
+            return self
+        return replace(
+            self,
+            covered=self.covered & keep,
+            discarded=self.discarded & keep,
+            retired=self.retired + retired,
+        )
 
 
 def build_snapshot(
@@ -133,8 +169,15 @@ def compact(
     obj: ReplicatedObject,
     statuses: StatusSource,
     coordinator_site: int = 0,
+    *,
+    sites: "tuple[int, ...] | None" = None,
 ) -> Snapshot | None:
     """Compact ``obj``'s logs cluster-wide; returns the installed snapshot.
+
+    ``sites`` restricts the drain/install rotation — under a partially
+    replicated keyspace pass the object's replica set, so compaction
+    never reads (or installs on) a site that does not hold the object,
+    which genuine partial replication forbids.  Default: every site.
 
     Raises :class:`UnavailableError` when the live sites cannot drain
     every final coterie, and :class:`SpecificationError` for objects
@@ -147,10 +190,9 @@ def compact(
             "between compacted ones"
         )
     finals = [c for c in obj.assignment.final_coteries() if needs_coverage(c)]
-    order = [
-        (coordinator_site + offset) % network.n_sites
-        for offset in range(network.n_sites)
-    ]
+    pool = tuple(sites) if sites is not None else tuple(range(network.n_sites))
+    start = pool.index(coordinator_site) if coordinator_site in pool else 0
+    order = [pool[(start + offset) % len(pool)] for offset in range(len(pool))]
 
     reached: set[int] = set()
     merged = Log()

@@ -178,8 +178,11 @@ class WorkloadGenerator:
     def _runnable(self, script: _Script) -> bool:
         if script.waiting_on is None:
             return True
-        holder_status = self.tm.status_of(script.waiting_on)
-        if holder_status.value != "active":
+        # lookup, not status_of: the holder may have been *retired* by
+        # soak maintenance between its finalize and this poll — retired
+        # implies finalized, so the waiter is runnable either way.
+        holder = self.tm.lookup(script.waiting_on)
+        if holder is None or not holder.is_active:
             script.waiting_on = None
             return True
         return False

@@ -91,6 +91,12 @@ class LegalityOracle:
         #: (memo for :meth:`_event_responses`; one BFS serves every
         #: invocation at a given depth).
         self._suffix_responses: dict[int, dict[Invocation, set[Response]]] = {}
+        #: Trie nodes allocated since the last :meth:`trim_cache` (the
+        #: initial root counts as one).  Maintained incrementally so
+        #: long-running callers can bound the memo without walking it.
+        self._cache_nodes = 1
+        #: Cumulative :meth:`trim_cache` invocations, for run reports.
+        self.cache_trims = 0
 
     @property
     def datatype(self) -> SerialDataType:
@@ -104,7 +110,37 @@ class LegalityOracle:
         if root is None:
             root = _TrieNode({key: base_state})
             self._base_roots[key] = root
+            self._cache_nodes += 1
         return root
+
+    # -- cache bounding --------------------------------------------------------
+
+    def cache_nodes(self) -> int:
+        """Trie nodes currently reachable from the oracle's roots.
+
+        The memo is append-only between trims: every distinct replayed
+        prefix and every distinct compacted base state allocates nodes
+        that are never dropped.  Bounded-memory drivers (the soak
+        maintenance loop) watch this and call :meth:`trim_cache` past a
+        threshold.
+        """
+        return self._cache_nodes
+
+    def trim_cache(self) -> None:
+        """Drop the replay memo, keeping correctness and the suffix BFS.
+
+        The trie is a pure cache: every public query rebuilds any node
+        it needs from the datatype, so discarding it only costs replay
+        time on the next queries.  Outstanding :class:`LegalityCursor`
+        objects keep their (now detached) nodes alive and stay valid.
+        The depth-bounded ``_suffix_responses`` memo is retained — it is
+        small and independent of replayed history.
+        """
+        initial = self._dt.initial_state()
+        self._root = _TrieNode({self._dt.canonical(initial): initial})
+        self._base_roots.clear()
+        self._cache_nodes = 1
+        self.cache_trims += 1
 
     # -- replay internals ----------------------------------------------------
 
@@ -122,6 +158,7 @@ class LegalityOracle:
                         next_frontier[self._dt.canonical(next_state)] = next_state
             child = _TrieNode(next_frontier if next_frontier else None)
         node.children[event] = child
+        self._cache_nodes += 1
         return child
 
     def _node(

@@ -23,6 +23,23 @@ class ActionId:
     def __str__(self) -> str:
         return f"T{self.seq}@{self.site}"
 
+    @staticmethod
+    def parse(text: str) -> "ActionId | None":
+        """Inverse of ``str()``: ``"T12@3"`` → ``ActionId(12, 3)``.
+
+        Returns ``None`` for anything that is not an action label, so
+        callers resolving span attributes can fall back gracefully.
+        """
+        if not text or text[0] != "T":
+            return None
+        seq_text, sep, site_text = text[1:].partition("@")
+        if not sep:
+            return None
+        try:
+            return ActionId(int(seq_text), int(site_text))
+        except ValueError:
+            return None
+
 
 class TxnStatus(enum.Enum):
     ACTIVE = "active"

@@ -156,3 +156,31 @@ class TransactionManager:
 
     def transactions(self) -> Iterable[Transaction]:
         return self._txns.values()
+
+    def lookup(self, action: ActionId) -> Transaction | None:
+        """O(1) transaction lookup; ``None`` for unknown or retired ids."""
+        return self._txns.get(action)
+
+    # -- bounded-memory maintenance ----------------------------------------
+
+    def retire(self, actions: Iterable[ActionId]) -> int:
+        """Forget finalized transactions; returns how many were dropped.
+
+        The transaction table otherwise grows for the life of the run,
+        which a million-op soak cannot afford.  Retiring an action makes
+        later ``status_of``/``begin_ts_of`` raise ``KeyError``, so the
+        caller must guarantee nothing will ask about it again — the soak
+        maintenance loop retires exactly the actions a cluster-wide log
+        compaction has already dropped from every replica log (no view,
+        certification, or monitor can name them anymore).  Active
+        transactions are never retired, whatever the caller passes.
+        """
+        dropped = 0
+        for action in tuple(actions):
+            txn = self._txns.get(action)
+            if txn is None or txn.is_active:
+                continue
+            del self._txns[action]
+            self._txn_spans.pop(action, None)
+            dropped += 1
+        return dropped
