@@ -62,23 +62,34 @@ def _run_once(mode: str) -> tuple[float, int]:
     return elapsed, sum(metrics.outcomes.values())
 
 
-def _measure(mode: str) -> dict[str, float]:
-    samples = []
-    operations = 0
+def _measure_all(modes: tuple[str, ...]) -> dict[str, dict[str, float]]:
+    """Best-of-``ROUNDS`` wall time per mode, rounds interleaved.
+
+    Rounds run round-robin across the configurations rather than as one
+    block per configuration, so a host slowdown wave degrades every
+    configuration's samples from the same time window instead of
+    inflating one side of the overhead ratio.
+    """
+    samples: dict[str, list[float]] = {mode: [] for mode in modes}
+    operations: dict[str, int] = {}
     for _ in range(ROUNDS):
-        elapsed, operations = _run_once(mode)
-        samples.append(elapsed)
-    best = min(samples)
-    return {
-        "wall_seconds_best": best,
-        "wall_seconds_all": samples,
-        "operations": operations,
-        "throughput_ops_per_s": operations / best,
-    }
+        for mode in modes:
+            elapsed, operations[mode] = _run_once(mode)
+            samples[mode].append(elapsed)
+    results = {}
+    for mode in modes:
+        best = min(samples[mode])
+        results[mode] = {
+            "wall_seconds_best": best,
+            "wall_seconds_all": samples[mode],
+            "operations": operations[mode],
+            "throughput_ops_per_s": operations[mode] / best,
+        }
+    return results
 
 
 def test_audit_overhead_within_budget(bench_cache_state):
-    results = {mode: _measure(mode) for mode in ("off", "traced", "audited")}
+    results = _measure_all(("off", "traced", "audited"))
 
     def loss(base: str, probe: str) -> float:
         """Throughput loss of ``probe`` relative to ``base``, in percent."""

@@ -12,10 +12,13 @@ achievable while keeping Read at a single site, under each property's
 minimal constraints — plus the full Pareto frontier at n = 5.
 """
 
+from time import perf_counter
+
 import pytest
 from conftest import report
 
 from repro.dependency import known
+from repro.quorum.batch import threshold_frontier_sweep
 from repro.quorum.search import threshold_frontier, valid_threshold_choices
 from repro.types import PROM
 
@@ -77,21 +80,45 @@ def test_prom_availability_sweep(relations, benchmark):
     n = 5
     probabilities = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99)
 
-    def availability_of_write(relation, p):
+    def best_write(frontier):
         best = 0.0
-        for choice, vector in threshold_frontier(relation, n, OPS, p):
+        for choice, vector in frontier:
             values = dict(vector)
             if choice.initial_of("Read") == 1:
                 best = max(best, values["Write"])
         return best
 
     def sweep():
+        # One valid-choice enumeration per relation for the whole grid,
+        # instead of one per (relation, probability) point.
+        hybrid_sweep = threshold_frontier_sweep(hybrid, n, OPS, probabilities)
+        static_sweep = threshold_frontier_sweep(static, n, OPS, probabilities)
         return [
-            (p, availability_of_write(hybrid, p), availability_of_write(static, p))
-            for p in probabilities
+            (p, best_write(h_frontier), best_write(s_frontier))
+            for (p, h_frontier), (_p, s_frontier) in zip(hybrid_sweep, static_sweep)
         ]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # The batched sweep must be bit-identical to the scalar frontier at
+    # every grid point — no tolerance: same floats, same Pareto set.
+    started = perf_counter()
+    scalar = [
+        (p, threshold_frontier(hybrid, n, OPS, p), threshold_frontier(static, n, OPS, p))
+        for p in probabilities
+    ]
+    scalar_seconds = perf_counter() - started
+    started = perf_counter()
+    batched = list(
+        zip(
+            probabilities,
+            (f for _p, f in threshold_frontier_sweep(hybrid, n, OPS, probabilities)),
+            (f for _p, f in threshold_frontier_sweep(static, n, OPS, probabilities)),
+        )
+    )
+    batched_seconds = perf_counter() - started
+    assert batched == scalar, "batched frontier sweep diverged from scalar"
+
     lines = [
         f"Write availability with single-site Reads, n = {n} sites:",
         "",
@@ -103,6 +130,14 @@ def test_prom_availability_sweep(relations, benchmark):
             f"{p:>10.2f} {hybrid_av:>10.4f} {static_av:>10.4f} "
             f"{hybrid_av / static_av:>8.2f}"
         )
+    lines.append("")
+    lines.append(
+        f"sweep wall time: scalar {scalar_seconds:.4f}s, "
+        f"batched {batched_seconds:.4f}s "
+        f"({scalar_seconds / batched_seconds:.1f}x, bit-identical)"
+        if batched_seconds
+        else "sweep wall time: batched path below timer resolution"
+    )
     report("prom_availability_sweep", "\n".join(lines))
 
 

@@ -34,9 +34,41 @@ import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: What the current benchmark's process-pool actually did.  Benchmarks
+#: that shard work across processes call :func:`record_parallelism`
+#: before emitting; everything else keeps the honest serial default, so
+#: every artifact says whether a pool ran — no artifact implies one did.
+_PARALLELISM = {"pool_engaged": False, "parallel_speedup": 1.0}
+
+
+def record_parallelism(pool_engaged: bool, parallel_speedup: float) -> None:
+    """Record the current benchmark's real pool behaviour.
+
+    ``pool_engaged`` is whether a process pool actually did work (the
+    ``parallel_used`` flag from :func:`repro.sim.trials.run_trials` /
+    :func:`repro.compute.parallel.parallel_map` — ``False`` on serial
+    fallbacks), and ``parallel_speedup`` the measured one-job /
+    sharded wall ratio (1.0 when nothing was sharded).  Both are
+    stamped into the next :func:`emit_json` environment block and the
+    next :func:`report` footer.
+    """
+    _PARALLELISM["pool_engaged"] = bool(pool_engaged)
+    _PARALLELISM["parallel_speedup"] = float(parallel_speedup)
+
 
 def report(name: str, text: str) -> None:
-    """Print a result block and persist it under benchmarks/results/."""
+    """Print a result block and persist it under benchmarks/results/.
+
+    A footer line surfaces the pool record for the run (see
+    :func:`record_parallelism`), so the human-readable summary and the
+    JSON stamp never disagree about whether work was sharded.
+    """
+    state = "engaged" if _PARALLELISM["pool_engaged"] else "not engaged"
+    text = (
+        f"{text}\n"
+        f"parallelism: pool {state}, "
+        f"{_PARALLELISM['parallel_speedup']:.2f}x speedup"
+    )
     banner = f"\n===== {name} =====\n"
     print(banner + text)
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -77,6 +109,8 @@ def emit_json(
         "placement": placement,
         "obs.retained_spans": process_retained_spans(),
         "obs.peak_retained": process_peak_retained(),
+        "pool_engaged": _PARALLELISM["pool_engaged"],
+        "parallel_speedup": round(_PARALLELISM["parallel_speedup"], 4),
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / f"BENCH_{name}.json"
@@ -100,6 +134,14 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         help="kernel-artifact cache state benchmarks start from "
         "(default: cold; warm pre-derives the standard catalog)",
     )
+
+
+@pytest.fixture(autouse=True)
+def _reset_parallelism():
+    """Reset the pool record so benchmarks never inherit a predecessor's."""
+    _PARALLELISM["pool_engaged"] = False
+    _PARALLELISM["parallel_speedup"] = 1.0
+    yield
 
 
 @pytest.fixture(scope="session")

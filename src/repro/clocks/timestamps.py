@@ -4,24 +4,87 @@ A :class:`Timestamp` is a pair ``(counter, site)``.  Comparing the counter
 first and breaking ties with the site identifier yields the total order
 required by the paper: "A system of Lamport Clocks can be used to impose
 an unambiguous ordering on Begin and Commit events" (Section 4).
+
+Implementation note (throughput): :class:`Timestamp` is a hand-written
+``__slots__`` value type with a precomputed hash.  Log-set algebra and
+sort keys hash and compare timestamps constantly on the replication hot
+path; a ``@dataclass(order=True)`` rebuilds ``(counter, site)`` tuples
+for every comparison and rehashes per call.  The hash value equals the
+dataclass hash (``hash((counter, site))``), so set iteration orders —
+and therefore every seeded fingerprint — are unchanged.  Timestamps are
+*not* interned: their key space grows linearly with simulated time, so
+an intern table would defeat the bounded-memory soak guarantees (see
+``docs/PERFORMANCE.md``, "Simulator core").
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterator
 
 
-@dataclass(frozen=True, order=True, slots=True)
 class Timestamp:
     """A Lamport timestamp: logical counter with a site tiebreak.
 
-    The generated ``order=True`` comparison compares ``counter`` first and
-    ``site`` second, which is exactly the total order we need.
+    Comparisons order by ``counter`` first and ``site`` second, which is
+    exactly the total order we need.
     """
 
-    counter: int
-    site: int = 0
+    __slots__ = ("counter", "site", "_hash")
+
+    def __init__(self, counter: int, site: int = 0):
+        object.__setattr__(self, "counter", counter)
+        object.__setattr__(self, "site", site)
+        object.__setattr__(self, "_hash", hash((counter, site)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"Timestamp is immutable (tried to set {name!r})")
+
+    def __delattr__(self, name):
+        raise AttributeError(f"Timestamp is immutable (tried to delete {name!r})")
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return self.counter == other.counter and self.site == other.site
+
+    def __lt__(self, other):
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        if self.counter != other.counter:
+            return self.counter < other.counter
+        return self.site < other.site
+
+    def __le__(self, other):
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        if self.counter != other.counter:
+            return self.counter < other.counter
+        return self.site <= other.site
+
+    def __gt__(self, other):
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        if self.counter != other.counter:
+            return self.counter > other.counter
+        return self.site > other.site
+
+    def __ge__(self, other):
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        if self.counter != other.counter:
+            return self.counter > other.counter
+        return self.site >= other.site
+
+    def __hash__(self):
+        return self._hash
+
+    def __reduce__(self):
+        return (Timestamp, (self.counter, self.site))
+
+    def __repr__(self):
+        return f"Timestamp(counter={self.counter!r}, site={self.site!r})"
 
     def next_at(self, site: int) -> "Timestamp":
         """Return the earliest timestamp at ``site`` strictly after ``self``."""

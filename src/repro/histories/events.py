@@ -9,18 +9,36 @@ the invocation ``Enq(x)`` with the normal response ``Ok()``, and
 All three structures are immutable and hashable so they can be used as
 dictionary keys, set members, and members of serial histories (which are
 plain tuples of events).
+
+Implementation note (throughput): these are *interned flyweights* with
+precomputed hashes.  The replication hot path (`Network.gather` →
+``FrontEnd`` → ``Repository``) hashes events on every trie hop, log-set
+operation, and conflict check; a ``@dataclass`` recomputes the recursive
+field hash on each call, which profiling showed at hundreds of
+thousands of calls per benchmark run.  Interning is *safe* here — and
+only here — because the alphabet is bounded: operations, argument
+values, and response values are drawn from each data type's small
+generator alphabet, so the intern tables stay tiny for the life of the
+process.  A cap (:data:`_INTERN_LIMIT`) keeps adversarial value streams
+from growing the tables without bound: past the cap, construction falls
+back to plain (uninterned, but still hash-cached) instances with
+identical semantics.  Timestamps and log entries are deliberately *not*
+interned — their key spaces grow with the run — see
+``docs/PERFORMANCE.md`` ("Simulator core").
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Hashable
 
 #: The response kind used for normal (non-exceptional) termination.
 OK = "Ok"
 
+#: Intern tables stop growing past this many distinct values per class;
+#: the bounded generator alphabets of the built-in types use a few dozen.
+_INTERN_LIMIT = 4096
 
-@dataclass(frozen=True, slots=True)
+
 class Invocation:
     """An operation invocation: an operation name plus argument values.
 
@@ -28,14 +46,52 @@ class Invocation:
     are drawn from each data type's small generator alphabet.
     """
 
-    op: str
-    args: tuple[Hashable, ...] = ()
+    __slots__ = ("op", "args", "_hash")
+
+    _interned: dict = {}
+
+    def __new__(cls, op: str, args: tuple[Hashable, ...] = ()):
+        key = (op, args)
+        table = cls._interned
+        cached = table.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "_hash", hash(key))
+        if len(table) < _INTERN_LIMIT:
+            table[key] = self
+        return self
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"Invocation is immutable (tried to set {name!r})")
+
+    def __delattr__(self, name):
+        raise AttributeError(f"Invocation is immutable (tried to delete {name!r})")
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if not isinstance(other, Invocation):
+            return NotImplemented
+        return self.op == other.op and self.args == other.args
+
+    def __hash__(self):
+        return self._hash
+
+    def __reduce__(self):
+        # Re-runs the constructor on unpickle, so worker processes
+        # re-intern into their own tables.
+        return (Invocation, (self.op, self.args))
+
+    def __repr__(self):
+        return f"Invocation(op={self.op!r}, args={self.args!r})"
 
     def __str__(self) -> str:
         return f"{self.op}({', '.join(map(repr, self.args))})"
 
 
-@dataclass(frozen=True, slots=True)
 class Response:
     """An operation response: a termination kind plus result values.
 
@@ -44,8 +100,45 @@ class Response:
     following the CLU-style termination model the paper uses [19].
     """
 
-    kind: str = OK
-    values: tuple[Hashable, ...] = ()
+    __slots__ = ("kind", "values", "_hash")
+
+    _interned: dict = {}
+
+    def __new__(cls, kind: str = OK, values: tuple[Hashable, ...] = ()):
+        key = (kind, values)
+        table = cls._interned
+        cached = table.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "_hash", hash(key))
+        if len(table) < _INTERN_LIMIT:
+            table[key] = self
+        return self
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"Response is immutable (tried to set {name!r})")
+
+    def __delattr__(self, name):
+        raise AttributeError(f"Response is immutable (tried to delete {name!r})")
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if not isinstance(other, Response):
+            return NotImplemented
+        return self.kind == other.kind and self.values == other.values
+
+    def __hash__(self):
+        return self._hash
+
+    def __reduce__(self):
+        return (Response, (self.kind, self.values))
+
+    def __repr__(self):
+        return f"Response(kind={self.kind!r}, values={self.values!r})"
 
     @property
     def is_normal(self) -> bool:
@@ -56,12 +149,48 @@ class Response:
         return f"{self.kind}({', '.join(map(repr, self.values))})"
 
 
-@dataclass(frozen=True, slots=True)
 class Event:
     """An invocation paired with the response the object returned for it."""
 
-    inv: Invocation
-    res: Response
+    __slots__ = ("inv", "res", "_hash")
+
+    _interned: dict = {}
+
+    def __new__(cls, inv: Invocation, res: Response):
+        key = (inv, res)
+        table = cls._interned
+        cached = table.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "inv", inv)
+        object.__setattr__(self, "res", res)
+        object.__setattr__(self, "_hash", hash(key))
+        if len(table) < _INTERN_LIMIT:
+            table[key] = self
+        return self
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"Event is immutable (tried to set {name!r})")
+
+    def __delattr__(self, name):
+        raise AttributeError(f"Event is immutable (tried to delete {name!r})")
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.inv == other.inv and self.res == other.res
+
+    def __hash__(self):
+        return self._hash
+
+    def __reduce__(self):
+        return (Event, (self.inv, self.res))
+
+    def __repr__(self):
+        return f"Event(inv={self.inv!r}, res={self.res!r})"
 
     @property
     def is_normal(self) -> bool:

@@ -1,0 +1,306 @@
+"""Vectorized availability sweeps, bit-identical to the scalar reference.
+
+The availability benchmarks sweep whole grids of the same question the
+scalar :mod:`repro.quorum.availability` functions answer one point at a
+time: "what is P[this operation can execute] at per-site up-probability
+``p``?"  Evaluated pointwise, every grid cell re-derives work its
+neighbours already did — the binomial pmf behind every tail at a given
+``p``, the Poisson-binomial count distribution behind every
+heterogeneous threshold, the ``2^n`` up-set weights behind every
+explicit coterie, and (dominating everything) the
+``(n+1)^|ops|``-point enumeration of valid threshold choices that a
+frontier sweep repeats per probability.
+
+This module batches each of those shared computations **without
+changing a single float**:
+
+* the exact paths below perform *per-term-identical* arithmetic to
+  their scalar references — the same pmf terms summed in the same
+  order, the same up-set weights accumulated under the same guard in
+  the same enumeration order — so results are bit-identical (``==``,
+  not approximately equal), which ``tests/test_quorum_batch.py``
+  enforces and the availability benchmarks re-assert inline;
+* numpy, when present, is an **opt-in accelerator** (``exact=False``)
+  for dense probability grids.  It is never imported at module load
+  beyond a guarded probe, never required, and never the default: numpy
+  reorders floating-point reductions, so its results are cross-checked
+  to ``1e-12`` rather than trusted for the paper's exact tables.
+
+The scalar functions stay the reference implementation; everything
+here is a batched view of them.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from math import comb
+from typing import Iterable, Sequence
+
+from repro.dependency.relation import DependencyRelation
+from repro.errors import QuorumError
+from repro.quorum.assignment import QuorumAssignment
+from repro.quorum.availability import (
+    _EXACT_LIMIT,
+    _site_probabilities,
+    binomial_tail,
+)
+from repro.quorum.coterie import Coterie, EmptyCoterie, ThresholdCoterie
+from repro.quorum.search import (
+    EventClass,
+    ThresholdChoice,
+    needed_thresholds,
+    pareto_frontier,
+    valid_threshold_choices,
+)
+
+try:  # pragma: no cover - exercised only where numpy is installed
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised only where numpy is absent
+    _np = None
+
+#: Whether the optional numpy accelerator is importable here.  Nothing
+#: in this module requires it; ``exact=False`` silently degrades to the
+#: exact path when it is absent.
+HAVE_NUMPY = _np is not None
+
+__all__ = [
+    "HAVE_NUMPY",
+    "binomial_tails",
+    "binomial_tails_grid",
+    "poisson_binomial_tails",
+    "upset_table",
+    "AvailabilityBatch",
+    "operation_availability_many",
+    "threshold_frontier_sweep",
+]
+
+
+def binomial_tails(n: int, p: float) -> tuple[float, ...]:
+    """All binomial tails at once: ``tails[k] == binomial_tail(n, k, p)``.
+
+    The pmf terms ``comb(n, j) * p**j * (1-p)**(n-j)`` are computed
+    once and each tail sums its suffix left-to-right — the exact
+    additions, in the exact order, of the scalar
+    :func:`~repro.quorum.availability.binomial_tail`, so every entry is
+    bit-identical to the reference.  Length ``n + 2``: ``tails[n + 1]``
+    is 0.0, matching the reference's empty sum for ``k > n``.
+    """
+    terms = [comb(n, j) * p**j * (1.0 - p) ** (n - j) for j in range(n + 1)]
+    return tuple(sum(terms[k:]) for k in range(n + 2))
+
+
+def binomial_tails_grid(
+    n: int, ps: Sequence[float], exact: bool = True
+) -> tuple[tuple[float, ...], ...]:
+    """One tail vector per probability: ``grid[i][k] = P[Bin(n, ps[i]) >= k]``.
+
+    ``exact=True`` (the default) runs the bit-identical pure-Python
+    path.  ``exact=False`` opts into the numpy accelerator when numpy
+    is importable — a single broadcasted pmf + reversed cumulative sum
+    over the whole grid — and silently falls back to the exact path
+    when it is not.  The numpy reduction associates additions
+    differently, so its output agrees with the exact path only to
+    floating-point roundoff (cross-checked to 1e-12 in tests); callers
+    feeding the paper's exact tables must keep the default.
+    """
+    if exact or _np is None:
+        return tuple(binomial_tails(n, float(p)) for p in ps)
+    probs = _np.asarray([float(p) for p in ps], dtype=_np.float64)[:, None]
+    j = _np.arange(n + 1, dtype=_np.float64)
+    coeffs = _np.asarray([comb(n, k) for k in range(n + 1)], dtype=_np.float64)
+    pmf = coeffs * probs**j * (1.0 - probs) ** (n - j)
+    tails = _np.flip(_np.cumsum(_np.flip(pmf, axis=1), axis=1), axis=1)
+    zeros = _np.zeros((len(probs), 1), dtype=_np.float64)
+    return tuple(tuple(row) for row in _np.hstack([tails, zeros]))
+
+
+def poisson_binomial_tails(probs: Sequence[float]) -> tuple[float, ...]:
+    """All heterogeneous count tails: ``tails[k] = P[>= k sites up]``.
+
+    Runs the scalar reference's O(n²) dynamic program once and takes
+    every suffix sum of the final count distribution — per-term
+    identical to ``_poisson_binomial_tail(probs, k)`` for each ``k``,
+    so each entry is bit-identical.  Length ``n + 2`` as above.
+    """
+    distribution = [1.0]  # distribution[j] = P[j sites up] so far
+    for p in probs:
+        nxt = [0.0] * (len(distribution) + 1)
+        for j, mass in enumerate(distribution):
+            nxt[j] += mass * (1.0 - p)
+            nxt[j + 1] += mass * p
+        distribution = nxt
+    return tuple(
+        sum(distribution[k:]) for k in range(len(distribution) + 1)
+    )
+
+
+def upset_table(
+    n_sites: int, probs: Sequence[float]
+) -> tuple[tuple[frozenset[int], float], ...]:
+    """Every up-set with its probability weight, in reference order.
+
+    ``_upset_probability`` re-derives each up-set's weight on every
+    call; a batch evaluator asks about many (operation, coterie) pairs
+    under the *same* site probabilities, so the weights are computed
+    once here and shared.  The enumeration order and the sequential
+    per-site multiplication match the scalar reference exactly, so any
+    predicate summed over this table (under the same ``weight and
+    predicate`` guard) reproduces ``_upset_probability`` bit for bit.
+    """
+    if n_sites > _EXACT_LIMIT:
+        raise QuorumError(
+            f"exact availability limited to {_EXACT_LIMIT} sites; "
+            "use the simulator's empirical availability for larger systems"
+        )
+    table = []
+    for bits in product((False, True), repeat=n_sites):
+        live = frozenset(i for i, up in enumerate(bits) if up)
+        weight = 1.0
+        for i, up in enumerate(bits):
+            weight *= probs[i] if up else 1.0 - probs[i]
+        table.append((live, weight))
+    return tuple(table)
+
+
+class AvailabilityBatch:
+    """Shared-precomputation availability evaluator for one probability vector.
+
+    Mirrors the branch structure of
+    :func:`~repro.quorum.availability.operation_availability` and
+    :func:`~repro.quorum.availability.coterie_availability` exactly,
+    but lazily materializes each shared intermediate — binomial tails,
+    Poisson-binomial tails, the up-set weight table — the first time a
+    branch needs it, then reuses it for every further query at the same
+    probabilities.  Every answer is bit-identical to the scalar call.
+    """
+
+    __slots__ = ("n_sites", "probs", "_homogeneous", "_tails", "_ptails", "_upsets")
+
+    def __init__(self, n_sites: int, p_up: float | Sequence[float]):
+        self.n_sites = n_sites
+        self.probs = _site_probabilities(n_sites, p_up)
+        self._homogeneous = len(set(self.probs)) <= 1
+        self._tails: tuple[float, ...] | None = None
+        self._ptails: tuple[float, ...] | None = None
+        self._upsets: tuple[tuple[frozenset[int], float], ...] | None = None
+
+    def binomial_tail(self, k: int) -> float:
+        """``P[Bin(n_sites, p) >= k]`` from the shared tail vector."""
+        if self._tails is None:
+            self._tails = binomial_tails(self.n_sites, self.probs[0])
+        return self._tails[k] if k <= self.n_sites else 0.0
+
+    def count_tail(self, k: int) -> float:
+        """``P[>= k sites up]`` under heterogeneous probabilities."""
+        if self._ptails is None:
+            self._ptails = poisson_binomial_tails(self.probs)
+        return self._ptails[k] if k <= self.n_sites else 0.0
+
+    def upset_probability(self, predicate) -> float:
+        """Exact P[predicate(up-set)] over the shared weight table."""
+        if self._upsets is None:
+            self._upsets = upset_table(self.n_sites, self.probs)
+        total = 0.0
+        for live, weight in self._upsets:
+            if weight and predicate(live):
+                total += weight
+        return total
+
+    def coterie(self, coterie: Coterie) -> float:
+        """Bit-identical twin of ``coterie_availability(coterie, probs)``."""
+        if isinstance(coterie, EmptyCoterie):
+            return 1.0
+        if isinstance(coterie, ThresholdCoterie):
+            if coterie.threshold == 0:
+                return 1.0
+            if coterie.n_sites == 0:
+                return 0.0
+            if self._homogeneous:
+                return self.binomial_tail(coterie.threshold)
+            return self.count_tail(coterie.threshold)
+        return self.upset_probability(coterie.has_quorum)
+
+    def operation(
+        self,
+        assignment: QuorumAssignment,
+        operation: str,
+        kind: str = "Ok",
+    ) -> float:
+        """Bit-identical twin of ``operation_availability(...)``."""
+        initial = assignment.initial(operation)
+        final = assignment.final(operation, kind)
+        if (
+            isinstance(initial, ThresholdCoterie)
+            and isinstance(final, (ThresholdCoterie, EmptyCoterie))
+            and self._homogeneous
+        ):
+            final_threshold = (
+                0 if isinstance(final, EmptyCoterie) else final.threshold
+            )
+            needed = max(initial.threshold, final_threshold)
+            if needed == 0:
+                return 1.0
+            return self.binomial_tail(needed)
+        if isinstance(initial, EmptyCoterie):
+            return self.coterie(final)
+        if isinstance(final, EmptyCoterie):
+            return self.coterie(initial)
+        return self.upset_probability(
+            lambda live: initial.has_quorum(live) and final.has_quorum(live)
+        )
+
+
+def operation_availability_many(
+    assignment: QuorumAssignment,
+    operations: Sequence[str],
+    p_up: float | Sequence[float],
+    kind: str = "Ok",
+) -> dict[str, float]:
+    """Batched ``operation_availability`` over many operations at one ``p``.
+
+    One :class:`AvailabilityBatch` shares the tails / up-set weights
+    across every operation; each value is bit-identical to the scalar
+    ``operation_availability(assignment, op, p_up, kind)``.
+    """
+    batch = AvailabilityBatch(assignment.n_sites, p_up)
+    return {op: batch.operation(assignment, op, kind) for op in operations}
+
+
+def threshold_frontier_sweep(
+    relation: DependencyRelation,
+    n_sites: int,
+    operations: Sequence[str],
+    ps: Sequence[float],
+    extra_classes: Iterable[EventClass] = (),
+) -> list[tuple[float, list[tuple[ThresholdChoice, tuple[tuple[str, float], ...]]]]]:
+    """``threshold_frontier`` over a probability grid, choices enumerated once.
+
+    The scalar sweep re-runs the ``(n+1)^|ops|`` valid-choice
+    enumeration (with all its constraint checking) at every grid point;
+    only the availability numbers actually depend on ``p``.  This
+    enumerates choices once, precomputes each choice's effective
+    thresholds once, and per probability reads the shared exact tail
+    vector — then applies the very same Pareto filter.  Each
+    ``(p, frontier)`` entry is bit-identical to
+    ``threshold_frontier(relation, n_sites, operations, p,
+    extra_classes)``, which the equality tests assert wholesale.
+    """
+    choices = list(
+        valid_threshold_choices(relation, n_sites, operations, extra_classes)
+    )
+    needs = [needed_thresholds(choice) for choice in choices]
+    sweep = []
+    for p in ps:
+        tails = binomial_tails(n_sites, float(p))
+        scored = [
+            (
+                choice,
+                tuple(
+                    (op, 1.0 if needed == 0 else tails[needed])
+                    for op, needed in need_vector
+                ),
+            )
+            for choice, need_vector in zip(choices, needs)
+        ]
+        sweep.append((float(p), pareto_frontier(scored)))
+    return sweep

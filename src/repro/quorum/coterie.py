@@ -35,10 +35,12 @@ class Coterie(ABC):
         if n_sites < 0:
             raise QuorumError("site count must be non-negative")
         self.n_sites = n_sites
+        # Built once: has_quorum consults it on every probe wave.
+        self._universe = frozenset(range(n_sites))
 
     @property
     def universe(self) -> frozenset[int]:
-        return frozenset(range(self.n_sites))
+        return self._universe
 
     @abstractmethod
     def quorums(self) -> Iterator[frozenset[int]]:
@@ -132,7 +134,7 @@ class ThresholdCoterie(Coterie):
             yield frozenset(quorum)
 
     def has_quorum(self, live: frozenset[int]) -> bool:
-        return len(live & self.universe) >= self.threshold
+        return len(live & self._universe) >= self.threshold
 
     def smallest_quorum_size(self) -> int:
         return self.threshold

@@ -181,13 +181,59 @@ def _availability_vector(
     no :class:`QuorumAssignment` is materialized.  Equality with the
     ``to_assignment`` + ``operation_availability`` path is test-enforced.
     """
+    return tuple(
+        (op, 1.0 if needed == 0 else binomial_tail(choice.n_sites, needed, p_up))
+        for op, needed in needed_thresholds(choice)
+    )
+
+
+def needed_thresholds(choice: ThresholdChoice) -> tuple[tuple[str, int], ...]:
+    """Per-operation effective threshold: max of initial and all finals.
+
+    Under identical site probabilities the joint initial+final
+    availability of a threshold choice is a single binomial tail at this
+    threshold (the same up-set serves both coteries), so a choice's
+    whole availability vector is determined by these integers.  Shared
+    by the scalar :func:`_availability_vector` and the batched sweep in
+    :mod:`repro.quorum.batch`.
+    """
     result = []
     for op, k_init in choice.initial:
         finals = [k for (name, _kind), k in choice.final if name == op]
-        needed = max([k_init] + finals)
-        avail = 1.0 if needed == 0 else binomial_tail(choice.n_sites, needed, p_up)
-        result.append((op, avail))
+        result.append((op, max([k_init] + finals)))
     return tuple(result)
+
+
+def pareto_frontier(
+    scored: Sequence[tuple[ThresholdChoice, tuple[tuple[str, float], ...]]],
+) -> list[tuple[ThresholdChoice, tuple[tuple[str, float], ...]]]:
+    """Filter ``(choice, availability vector)`` pairs to the Pareto set.
+
+    Shared by :func:`threshold_frontier` and the batched grid sweep in
+    :mod:`repro.quorum.batch`, so both paths apply the identical
+    domination test, deduplication, and ordering.
+    """
+    frontier: list[tuple[ThresholdChoice, tuple[tuple[str, float], ...]]] = []
+    for choice, vector in scored:
+        values = [v for _op, v in vector]
+        dominated = False
+        for _other, other_vector in scored:
+            other_values = [v for _op, v in other_vector]
+            if all(o >= v for o, v in zip(other_values, values)) and any(
+                o > v for o, v in zip(other_values, values)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append((choice, vector))
+    # Deduplicate identical availability vectors, keeping the lexicographically
+    # smallest choice for determinism.
+    unique: dict[tuple, tuple[ThresholdChoice, tuple]] = {}
+    for choice, vector in frontier:
+        key = tuple(vector)
+        if key not in unique or str(choice) < str(unique[key][0]):
+            unique[key] = (choice, vector)
+    return sorted(unique.values(), key=lambda item: str(item[0]))
 
 
 def threshold_frontier(
@@ -211,27 +257,7 @@ def threshold_frontier(
             relation, n_sites, operations, extra_classes
         )
     ]
-    frontier: list[tuple[ThresholdChoice, tuple[tuple[str, float], ...]]] = []
-    for choice, vector in scored:
-        values = [v for _op, v in vector]
-        dominated = False
-        for _other, other_vector in scored:
-            other_values = [v for _op, v in other_vector]
-            if all(o >= v for o, v in zip(other_values, values)) and any(
-                o > v for o, v in zip(other_values, values)
-            ):
-                dominated = True
-                break
-        if not dominated:
-            frontier.append((choice, vector))
-    # Deduplicate identical availability vectors, keeping the lexicographically
-    # smallest choice for determinism.
-    unique: dict[tuple, tuple[ThresholdChoice, tuple]] = {}
-    for choice, vector in frontier:
-        key = tuple(vector)
-        if key not in unique or str(choice) < str(unique[key][0]):
-            unique[key] = (choice, vector)
-    return sorted(unique.values(), key=lambda item: str(item[0]))
+    return pareto_frontier(scored)
 
 
 def best_threshold_assignment(

@@ -210,6 +210,7 @@ def build_keyspace(
     tracer: Tracer | None = None,
     profiler: KernelProfiler | None = None,
     rpc_mode: str = "batched",
+    queue_mode: str = "slot",
 ) -> Cluster:
     """Compile a keyspace spec into a running cluster.
 
@@ -230,7 +231,10 @@ def build_keyspace(
     (the default) overlaps probe latencies through
     :meth:`~repro.sim.network.Network.gather` and reuses cached view
     merges; ``"serial"`` walks sites one round-trip at a time — the
-    reference path the equality tests compare against.
+    reference path the equality tests compare against.  ``queue_mode``
+    selects the simulator's event-queue implementation the same way:
+    ``"slot"`` (default, allocation-free) or ``"reference"`` (the
+    dataclass heap both must match dispatch-for-dispatch).
 
     Pass a :class:`~repro.obs.trace.Tracer` to capture span trees
     (transaction → operation → quorum phase → RPC) over simulated time,
@@ -241,7 +245,9 @@ def build_keyspace(
     placement = spec.compile()
     router = Router(placement)
     tracer = tracer if tracer is not None else NULL_TRACER
-    sim = Simulator(seed=seed, tracer=tracer, profiler=profiler)
+    sim = Simulator(
+        seed=seed, tracer=tracer, profiler=profiler, queue_mode=queue_mode
+    )
     tracer.bind_clock(sim)
     network = Network(
         sim,
@@ -299,6 +305,7 @@ def build_cluster(
     tracer: Tracer | None = None,
     profiler: KernelProfiler | None = None,
     rpc_mode: str = "batched",
+    queue_mode: str = "slot",
 ) -> Cluster:
     """Assemble the full stack over ``n_sites`` fully replicated sites.
 
@@ -320,4 +327,5 @@ def build_cluster(
         tracer=tracer,
         profiler=profiler,
         rpc_mode=rpc_mode,
+        queue_mode=queue_mode,
     )

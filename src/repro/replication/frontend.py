@@ -26,6 +26,7 @@ from repro.quorum.coterie import Coterie
 from repro.replication.log import Log, LogEntry
 from repro.replication.object import ReplicatedObject
 from repro.replication.repository import Repository
+from repro.replication.serialcache import SerialPrefixCache
 from repro.replication.view import View
 from repro.replication.viewcache import QuorumViewCache
 from repro.resilience.policy import (
@@ -84,6 +85,11 @@ class FrontEnd:
         #: path only (``network.rpc_mode == "batched"``); the serial
         #: path re-merges from scratch and stays the reference.
         self.view_cache = QuorumViewCache()
+        #: Per-object incremental commit-order replay positions, threaded
+        #: through views on the batched path only — the serial path
+        #: recomputes every serialization from scratch and stays the
+        #: byte-identical reference.
+        self.serial_caches: dict[str, SerialPrefixCache] = {}
         #: Per-front-end policy override; see :meth:`effective_policy`.
         self.retry_policy = retry_policy
         #: Object → replica-set resolution for sharded keyspaces.
@@ -94,6 +100,9 @@ class FrontEnd:
         self._retry_seq = 0
         #: Cached read-only classification per object name.
         self._read_only_cache: dict[str, frozenset[str]] = {}
+        #: Cached replica visit order for the fully replicated case (the
+        #: router resolves per object and caches internally).
+        self._all_sites_order: tuple[int, ...] | None = None
 
     def effective_policy(self) -> RetryPolicy | None:
         """The retry policy governing this front-end's operations.
@@ -224,7 +233,12 @@ class FrontEnd:
         )
         for entry in obj.sync.own_entries(txn.id):
             merged = merged.add(entry)
-        view = View(merged, self.tm, base=base)
+        serial_cache = None
+        if self.network.rpc_mode == "batched":
+            serial_cache = self.serial_caches.get(object_name)
+            if serial_cache is None:
+                serial_cache = self.serial_caches[object_name] = SerialPrefixCache()
+        view = View(merged, self.tm, base=base, serial_cache=serial_cache)
         latest = view.max_timestamp()
         if latest is not None:
             self.clock.witness(latest)
@@ -322,9 +336,13 @@ class FrontEnd:
         """
         if self.router is not None and obj is not None:
             return self.router.route(self.site, obj.name)
-        n = len(self.repositories)
-        start = self.site % n if n else 0
-        return tuple((start + offset) % n for offset in range(n))
+        order = self._all_sites_order
+        if order is None:
+            n = len(self.repositories)
+            start = self.site % n if n else 0
+            order = tuple((start + offset) % n for offset in range(n))
+            self._all_sites_order = order
+        return order
 
     def _replica_set(self, obj: ReplicatedObject) -> frozenset[int]:
         """The sites that could have answered a quorum probe for ``obj``."""
@@ -351,6 +369,10 @@ class FrontEnd:
     def _read_quorum_batched(
         self, obj: ReplicatedObject, coterie: Coterie, op_name: str
     ) -> tuple[Log, object]:
+        if not self.tracer.enabled:
+            # Untraced hot path: no span kwargs, no eager annotate
+            # arguments (the sorted() renderings dominate otherwise).
+            return self._read_quorum_batched_impl(obj, coterie, op_name, None)
         with self.tracer.span(
             "quorum.initial",
             kind="quorum",
@@ -359,32 +381,39 @@ class FrontEnd:
             op=op_name,
             object=obj.name,
         ) as span:
-            if coterie.has_quorum(frozenset()):
+            return self._read_quorum_batched_impl(obj, coterie, op_name, span)
+
+    def _read_quorum_batched_impl(
+        self, obj: ReplicatedObject, coterie: Coterie, op_name: str, span
+    ) -> tuple[Log, object]:
+        if coterie.has_quorum(frozenset()):
+            if span is not None:
                 span.annotate(quorum=())
-                return Log(), None
-            name = obj.name
-            outcome = self.network.gather(
-                self.site,
-                self._site_order(obj),
-                lambda site: (
-                    self.repositories[site].read_log(name),
-                    self.repositories[site].read_snapshot(name),
-                    self.repositories[site].log_version(name),
-                ),
-                stop=coterie.has_quorum,
-            )
-            responders = outcome.responders
-            if not coterie.has_quorum(responders):
-                missing = self._replica_set(obj) - responders
+            return Log(), None
+        name = obj.name
+        repositories = self.repositories
+        outcome = self.network.gather(
+            self.site,
+            self._site_order(obj),
+            lambda site: (
+                repositories[site].read_log(name),
+                repositories[site].read_snapshot(name),
+                repositories[site].log_version(name),
+            ),
+            stop=coterie.has_quorum,
+        )
+        responders = outcome.responders
+        if not coterie.has_quorum(responders):
+            missing = self._replica_set(obj) - responders
+            if span is not None:
                 span.annotate(
                     responders=sorted(responders), missing=sorted(missing)
                 )
-                raise UnavailableError(op_name, missing)
-            merged, best = self.view_cache.merged_view(
-                name, outcome.in_attempt_order()
-            )
+            raise UnavailableError(op_name, missing)
+        merged, best = self.view_cache.merged_view(name, outcome.in_attempt_order())
+        if span is not None:
             span.annotate(quorum=sorted(responders))
-            return merged, best
+        return merged, best
 
     def _read_quorum_serial(
         self, obj: ReplicatedObject, coterie: Coterie, op_name: str
@@ -443,45 +472,55 @@ class FrontEnd:
     def _write_quorum_batched(
         self, obj: ReplicatedObject, coterie: Coterie, update: Log, event
     ) -> None:
-        op_name = event.inv.op
+        if not self.tracer.enabled:
+            return self._write_quorum_batched_impl(obj, coterie, update, event, None)
         with self.tracer.span(
             "quorum.final",
             kind="quorum",
             site=self.site,
             phase="final",
-            op=op_name,
+            op=event.inv.op,
             object=obj.name,
             res_kind=event.res.kind,
         ) as span:
-            if coterie.has_quorum(frozenset()):
+            return self._write_quorum_batched_impl(obj, coterie, update, event, span)
+
+    def _write_quorum_batched_impl(
+        self, obj: ReplicatedObject, coterie: Coterie, update: Log, event, span
+    ) -> None:
+        if coterie.has_quorum(frozenset()):
+            if span is not None:
                 span.annotate(quorum=())
-                return
-            name = obj.name
-            outcome = self.network.gather(
-                self.site,
-                self._site_order(obj),
-                # The version pair is captured atomically around the
-                # write so the view cache can prove, from the ack alone,
-                # that nothing else touched the fragment since our read.
-                lambda site: (
-                    self.repositories[site].log_version(name),
-                    self.repositories[site].write_log(name, update),
-                ),
-                stop=coterie.has_quorum,
-            )
-            acks = outcome.responders
-            if not coterie.has_quorum(acks):
-                missing = self._replica_set(obj) - acks
+            return
+        name = obj.name
+        repositories = self.repositories
+        outcome = self.network.gather(
+            self.site,
+            self._site_order(obj),
+            # The version pair is captured atomically around the
+            # write so the view cache can prove, from the ack alone,
+            # that nothing else touched the fragment since our read.
+            lambda site: (
+                repositories[site].log_version(name),
+                repositories[site].write_log(name, update),
+            ),
+            stop=coterie.has_quorum,
+        )
+        acks = outcome.responders
+        if not coterie.has_quorum(acks):
+            missing = self._replica_set(obj) - acks
+            if span is not None:
                 span.annotate(responders=sorted(acks), missing=sorted(missing))
-                raise UnavailableError(op_name, missing)
-            self.view_cache.note_write(
-                name,
-                update,
-                tuple(
-                    (reply.site, reply.value[0], reply.value[1])
-                    for reply in outcome.in_attempt_order()
-                ),
-            )
+            raise UnavailableError(event.inv.op, missing)
+        self.view_cache.note_write(
+            name,
+            update,
+            tuple(
+                (reply.site, reply.value[0], reply.value[1])
+                for reply in outcome.in_attempt_order()
+            ),
+        )
+        if span is not None:
             span.annotate(quorum=sorted(acks))
 
     def _write_quorum_serial(

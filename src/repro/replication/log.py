@@ -12,22 +12,74 @@ assembled.
 
 from __future__ import annotations
 
-from bisect import insort
-from dataclasses import dataclass
+from bisect import bisect, insort
+from operator import attrgetter
 from typing import Iterable, Iterator
 
 from repro.clocks.timestamps import Timestamp
 from repro.histories.events import Event
 from repro.txn.ids import ActionId
 
+#: Shared sort key: (counter, site, seq) — identical ordering to the old
+#: ``(entry.ts, entry.action.seq)`` tuple key, since Timestamp compares
+#: (counter, site) first, but precomputed once per entry instead of
+#: rebuilt per comparison.
+_SORT_KEY = attrgetter("sort_key")
 
-@dataclass(frozen=True, slots=True)
+#: Maximum :meth:`Log.extended` lineage chain length.  Each link keeps
+#: its base log alive, so the cap bounds retained history to a constant
+#: number of ancestor logs per live head; a chain that reaches the cap
+#: restarts, costing incremental consumers one O(n) fallback per
+#: ``_LINEAGE_LIMIT`` extensions (amortized O(delta)).
+_LINEAGE_LIMIT = 32
+
+
 class LogEntry:
-    """One log record: when, what, and on whose behalf."""
+    """One log record: when, what, and on whose behalf.
 
-    ts: Timestamp
-    event: Event
-    action: ActionId
+    ``__slots__`` value type with the hash and the log sort key
+    precomputed at construction: log-set algebra hashes entries on every
+    quorum merge, and ordered insertion compares sort keys O(log n)
+    times per entry.  The hash equals the dataclass hash it replaces
+    (``hash((ts, event, action))``), so frozenset iteration orders and
+    seeded fingerprints are unchanged.  Entries are not interned — their
+    key space grows with the run (see ``docs/PERFORMANCE.md``).
+    """
+
+    __slots__ = ("ts", "event", "action", "sort_key", "_hash")
+
+    def __init__(self, ts: Timestamp, event: Event, action: ActionId):
+        object.__setattr__(self, "ts", ts)
+        object.__setattr__(self, "event", event)
+        object.__setattr__(self, "action", action)
+        object.__setattr__(self, "sort_key", (ts.counter, ts.site, action.seq))
+        object.__setattr__(self, "_hash", hash((ts, event, action)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"LogEntry is immutable (tried to set {name!r})")
+
+    def __delattr__(self, name):
+        raise AttributeError(f"LogEntry is immutable (tried to delete {name!r})")
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if not isinstance(other, LogEntry):
+            return NotImplemented
+        return (
+            self.ts == other.ts
+            and self.event == other.event
+            and self.action == other.action
+        )
+
+    def __hash__(self):
+        return self._hash
+
+    def __reduce__(self):
+        return (LogEntry, (self.ts, self.event, self.action))
+
+    def __repr__(self):
+        return f"LogEntry(ts={self.ts!r}, event={self.event!r}, action={self.action!r})"
 
     def __str__(self) -> str:
         return f"[{self.ts}] {self.event} {self.action}"
@@ -40,7 +92,15 @@ class Log:
     run; merge tolerates duplicates by keying on the full entry.
     """
 
-    __slots__ = ("_entries", "_ordered", "_by_action", "_actions")
+    __slots__ = (
+        "_entries",
+        "_ordered",
+        "_by_action",
+        "_actions",
+        "_base",
+        "_fresh",
+        "_depth",
+    )
 
     def __init__(self, entries: Iterable[LogEntry] = ()):
         self._entries: frozenset[LogEntry] = frozenset(entries)
@@ -48,6 +108,25 @@ class Log:
         self._ordered: tuple[LogEntry, ...] | None = None
         self._by_action: dict[ActionId, tuple[LogEntry, ...]] | None = None
         self._actions: frozenset[ActionId] | None = None
+        # Lineage: extended() records (base log, fresh entries) so
+        # incremental consumers can recover "what's new since the log I
+        # saw last" in O(delta) instead of an O(n) set difference.
+        self._base: Log | None = None
+        self._fresh: tuple[LogEntry, ...] | None = None
+        self._depth: int = 0
+
+    @classmethod
+    def _from_entry_set(cls, entries: frozenset[LogEntry]) -> "Log":
+        """Wrap an already-frozen entry set without re-freezing it."""
+        out = cls.__new__(cls)
+        out._entries = entries
+        out._ordered = None
+        out._by_action = None
+        out._actions = None
+        out._base = None
+        out._fresh = None
+        out._depth = 0
+        return out
 
     def merge(self, other: "Log") -> "Log":
         """The least upper bound of two logs (set union)."""
@@ -55,12 +134,12 @@ class Log:
             return self
         if self._entries <= other._entries:
             return other
-        return Log(self._entries | other._entries)
+        return Log._from_entry_set(self._entries | other._entries)
 
     def add(self, entry: LogEntry) -> "Log":
         if entry in self._entries:
             return self
-        return Log(self._entries | {entry})
+        return self.extended((entry,))
 
     def extended(self, added: Iterable[LogEntry]) -> "Log":
         """Union with ``added``, carrying this log's caches forward.
@@ -73,36 +152,119 @@ class Log:
         O(delta log n) rather than O(n log n) per operation.  Sound
         because timestamps are unique per entry in a correct run, so the
         seeded order equals the order :meth:`ordered` would compute.
+
+        The membership filter runs as C-level frozenset difference, so a
+        caller may pass a whole superset log's entries and pay only for
+        the genuinely new ones.
         """
-        fresh = [e for e in added if e not in self._entries]
-        if not fresh:
+        if isinstance(added, (frozenset, set)):
+            fresh_set = added - self._entries
+        else:
+            fresh_set = frozenset(added) - self._entries
+        if not fresh_set:
             return self
-        out = Log(self._entries.union(fresh))
-        key = lambda e: (e.ts, e.action.seq)  # noqa: E731 - shared sort key
-        fresh.sort(key=key)
+        out = Log._from_entry_set(self._entries | fresh_set)
+        if self._depth < _LINEAGE_LIMIT:
+            out._base = self
+            out._fresh = tuple(fresh_set)
+            out._depth = self._depth + 1
+        if len(fresh_set) == 1:
+            # The dominant caller shape: one front-end appending one new
+            # entry per quorum phase, almost always with the greatest
+            # timestamp so far.  Tuple concatenation replaces the
+            # list-copy + insort + re-tuple round trip.
+            (entry,) = fresh_set
+            if self._ordered is not None:
+                ordered = self._ordered
+                if not ordered or ordered[-1].sort_key <= entry.sort_key:
+                    out._ordered = ordered + (entry,)
+                else:
+                    i = bisect(ordered, entry.sort_key, key=_SORT_KEY)
+                    out._ordered = ordered[:i] + (entry,) + ordered[i:]
+            if self._by_action is not None:
+                grouped = dict(self._by_action)
+                group = grouped.get(entry.action)
+                if group is None:
+                    grouped[entry.action] = (entry,)
+                elif group[-1].sort_key <= entry.sort_key:
+                    grouped[entry.action] = group + (entry,)
+                else:
+                    expanded = list(group)
+                    insort(expanded, entry, key=_SORT_KEY)
+                    grouped[entry.action] = tuple(expanded)
+                out._by_action = grouped
+            if self._actions is not None:
+                out._actions = (
+                    self._actions
+                    if entry.action in self._actions
+                    else self._actions | {entry.action}
+                )
+            return out
+        fresh = sorted(fresh_set, key=_SORT_KEY)
         if self._ordered is not None:
             ordered = list(self._ordered)
             for entry in fresh:
-                insort(ordered, entry, key=key)
+                insort(ordered, entry, key=_SORT_KEY)
             out._ordered = tuple(ordered)
         if self._by_action is not None:
             grouped = dict(self._by_action)
             for entry in fresh:
                 group = list(grouped.get(entry.action, ()))
-                insort(group, entry, key=key)
+                insort(group, entry, key=_SORT_KEY)
                 grouped[entry.action] = tuple(group)
             out._by_action = grouped
         if self._actions is not None:
             out._actions = self._actions.union(e.action for e in fresh)
         return out
 
+    def fresh_since(self, ancestor: "Log") -> tuple[LogEntry, ...] | None:
+        """Entries in this log but not in ``ancestor``, via the lineage chain.
+
+        Walks the :meth:`extended` parent links from this log back
+        toward ``ancestor``; each link's fresh entries are disjoint from
+        everything below it, so their concatenation is *exactly*
+        ``self.entry_set - ancestor.entry_set``.  Returns ``None`` when
+        the chain does not reach ``ancestor`` (it was built by a plain
+        merge or the chain restarted at the length cap) — callers then
+        fall back to the O(n) set difference, which is always correct.
+        A non-``None`` result also certifies
+        ``ancestor.entry_set <= self.entry_set``.
+        """
+        if ancestor is self:
+            return ()
+        node = self
+        floor = len(ancestor._entries)
+        chunks: list[tuple[LogEntry, ...]] = []
+        while True:
+            base = node._base
+            # Entry counts strictly shrink down the chain, so once a
+            # base is smaller than the ancestor the walk cannot reach
+            # it — bail out instead of walking to the chain's root.
+            if base is None or len(base._entries) < floor:
+                return None
+            chunks.append(node._fresh)
+            if base is ancestor:
+                if len(chunks) == 1:
+                    return chunks[0]
+                flat: list[LogEntry] = []
+                for chunk in reversed(chunks):
+                    flat.extend(chunk)
+                return tuple(flat)
+            node = base
+
     def ordered(self) -> tuple[LogEntry, ...]:
         """Entries sorted by timestamp (total order; site breaks ties)."""
         if self._ordered is None:
-            self._ordered = tuple(
-                sorted(self._entries, key=lambda e: (e.ts, e.action.seq))
-            )
+            self._ordered = tuple(sorted(self._entries, key=_SORT_KEY))
         return self._ordered
+
+    def max_entry(self) -> LogEntry | None:
+        """The timestamp-greatest entry, without forcing a full sort."""
+        if self._ordered is not None:
+            return self._ordered[-1] if self._ordered else None
+        if not self._entries:
+            return None
+        return max(self._entries, key=_SORT_KEY)
 
     def entries_of(self, action: ActionId) -> tuple[LogEntry, ...]:
         if self._by_action is None:
@@ -143,6 +305,11 @@ class Log:
 
     def __hash__(self) -> int:
         return hash(self._entries)
+
+    def __reduce__(self):
+        # Rebuilt from the entry set alone: lineage weakrefs cannot be
+        # pickled and caches recompute lazily on the other side.
+        return (Log, (tuple(self._entries),))
 
     def __str__(self) -> str:
         return "\n".join(str(e) for e in self.ordered())

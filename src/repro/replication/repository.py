@@ -110,7 +110,11 @@ class Repository:
                 entry for entry in update if entry.action not in snapshot.dropped
             )
         current = self._logs.get(object_name, Log())
-        merged = current.merge(update)
+        # extended(), not merge(): same union, but it records the
+        # extension-lineage link so incremental consumers (the audit
+        # log-consistency scan, quorum view caches) can recover the
+        # delta in O(new entries) instead of a full set difference.
+        merged = current.extended(update.entry_set)
         if merged is not current:
             self._logs[object_name] = merged
             self._bump(object_name)

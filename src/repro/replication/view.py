@@ -46,10 +46,15 @@ class View:
     in must already exclude the covered entries (the front-end filters).
     """
 
-    def __init__(self, log: Log, statuses: StatusSource, base=None):
+    def __init__(self, log: Log, statuses: StatusSource, base=None, serial_cache=None):
         self.log = log
         self.statuses = statuses
         self.base = base
+        #: Optional :class:`~repro.replication.serialcache.SerialPrefixCache`
+        #: the owning front-end threads through on the batched RPC path;
+        #: ``None`` (the serial reference path) makes schemes recompute
+        #: serializations from scratch.
+        self.serial_cache = serial_cache
 
     @property
     def base_state(self):
@@ -128,6 +133,10 @@ class View:
         return tuple(before), tuple(after)
 
     def max_timestamp(self) -> Timestamp | None:
-        """The largest entry timestamp, for Lamport clock witnessing."""
-        ordered = self.log.ordered()
-        return ordered[-1].ts if ordered else None
+        """The largest entry timestamp, for Lamport clock witnessing.
+
+        Uses :meth:`Log.max_entry`, which is O(n) without forcing the
+        O(n log n) full sort on a freshly merged log.
+        """
+        last = self.log.max_entry()
+        return last.ts if last is not None else None

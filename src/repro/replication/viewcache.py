@@ -50,6 +50,9 @@ class _CacheEntry:
     sites: tuple[int, ...]
     versions: dict[int, int]
     snaps: dict[int, Any]
+    #: Each cached site's fragment Log as last probed — the lineage
+    #: anchor for O(delta) re-merges via :meth:`Log.fresh_since`.
+    logs: dict[int, Log]
     raw: Log
     best: Any
     filtered: Log
@@ -99,10 +102,20 @@ class QuorumViewCache:
                 self.hits += 1
                 return entry.filtered, entry.best
             self.delta_merges += 1
+            raw_entries = entry.raw.entry_set
             fresh: set = set()
             for probe in changed:
-                fresh |= probe.value[0].entry_set
-            fresh -= entry.raw.entry_set
+                # O(delta) when the fragment's extension lineage reaches
+                # the log we probed last time; the O(n) union-and-diff
+                # over the whole fragment is the fallback.
+                chunk = probe.value[0].fresh_since(entry.logs[probe.site])
+                if chunk is not None:
+                    fresh.update(
+                        e for e in chunk if e not in raw_entries
+                    )
+                else:
+                    fresh |= probe.value[0].entry_set
+                    fresh -= raw_entries
             # extended() bisect-inserts the delta into the cached sorted
             # order, so the per-operation cost is O(|delta| log n), not a
             # fresh O(n log n) sort of the whole union.
@@ -119,6 +132,7 @@ class QuorumViewCache:
                 # kept as a safe fallback rather than an assumption.
                 filtered = Log(e for e in raw if e.action not in best.dropped)
             entry.versions = {probe.site: probe.value[2] for probe in probes}
+            entry.logs = {probe.site: probe.value[0] for probe in probes}
             entry.raw = raw
             entry.best = best
             entry.filtered = filtered
@@ -135,6 +149,7 @@ class QuorumViewCache:
             sites=sites,
             versions={probe.site: probe.value[2] for probe in probes},
             snaps={probe.site: probe.value[1] for probe in probes},
+            logs={probe.site: probe.value[0] for probe in probes},
             raw=raw,
             best=best,
             filtered=filtered,

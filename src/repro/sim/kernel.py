@@ -7,6 +7,22 @@ events at the same instant always run in scheduling order.  All
 randomness flows through the kernel's seeded :class:`random.Random`, so
 a run is a pure function of its seed and configuration.
 
+Two queue implementations share one contract:
+
+* ``queue_mode="slot"`` (default) — the allocation-free hot path.  The
+  heap holds bare ``(time, seq)`` tuples; callbacks live in a dict slot
+  table keyed by sequence number; cancellable handles are ``__slots__``
+  objects drawn from a free-list and recycled at dispatch when (and only
+  when) ``sys.getrefcount`` proves no caller still holds one.  The
+  internal :meth:`Simulator.call_at` path allocates no handle at all.
+* ``queue_mode="reference"`` — the original per-event ``_Scheduled``
+  dataclass algorithm, kept verbatim as the byte-identical reference the
+  randomized equivalence tests drive against the slot queue.
+
+Both modes allocate one sequence number per scheduled event, so dispatch
+order — and therefore every seeded fingerprint — is identical between
+them.
+
 Observability: an optional :class:`~repro.obs.profile.KernelProfiler`
 accounts wall time per dispatched callback and samples queue depth, and
 an optional :class:`~repro.obs.trace.Tracer` receives a ``sim.run``
@@ -19,14 +35,19 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass, field
+from sys import getrefcount
 from time import perf_counter
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import SimulationError
 from repro.obs.trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.profile import KernelProfiler
+
+
+#: Accepted values for ``Simulator(queue_mode=...)``.
+QUEUE_MODES = ("slot", "reference")
 
 
 @dataclass(order=True)
@@ -38,9 +59,32 @@ class _Scheduled:
     dispatched: bool = field(default=False, compare=False)
 
 
+class EventHandle:
+    """A cancellable handle for one scheduled event (slot queue mode).
+
+    Mirrors the fields of the reference ``_Scheduled`` record so
+    introspecting callers (tests, debuggers) see the same shape, but the
+    heap itself never stores one — only ``(time, seq)`` tuples — and
+    handles are recycled through a free-list once the kernel can prove
+    no caller still references them.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "dispatched")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.dispatched = False
+
+
 #: Queues shorter than this are never compacted: rebuilding a tiny heap
 #: costs more than carrying a handful of tombstones to the top.
 _COMPACT_FLOOR = 64
+
+#: Free-list size cap; recycling beyond this keeps no extra handles alive.
+_FREE_LIST_LIMIT = 256
 
 
 class Simulator:
@@ -52,8 +96,26 @@ class Simulator:
         *,
         tracer: Tracer | None = None,
         profiler: "KernelProfiler | None" = None,
+        queue_mode: str = "slot",
     ):
-        self._queue: list[_Scheduled] = []
+        if queue_mode not in QUEUE_MODES:
+            raise ValueError(
+                f"unknown queue_mode {queue_mode!r}; expected one of {QUEUE_MODES}"
+            )
+        self.queue_mode = queue_mode
+        self._slot = queue_mode == "slot"
+        if self._slot:
+            #: Bare (time, seq) tuples; comparisons are C-level.
+            self._heap: list[tuple[float, int]] = []
+            #: seq -> callback for every live (scheduled, not cancelled,
+            #: not dispatched) event; absence marks a tombstone.
+            self._callbacks: dict[int, Callable[[], None]] = {}
+            #: seq -> handle, only for events scheduled through the
+            #: public :meth:`schedule`; :meth:`call_at` events have none.
+            self._handles: dict[int, EventHandle] = {}
+            self._free_handles: list[EventHandle] = []
+        else:
+            self._queue: list[_Scheduled] = []
         self._seq = 0
         #: Live count of scheduled, not-cancelled, not-yet-run events —
         #: kept in lockstep by schedule/cancel/dispatch so ``pending``
@@ -70,31 +132,80 @@ class Simulator:
         #: Per-callback wall-time accounting; ``None`` disables profiling.
         self.profiler = profiler
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> _Scheduled:
+    def schedule(self, delay: float, callback: Callable[[], None]):
         """Run ``callback`` at ``now + delay``; returns a cancellable handle."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} into the past")
-        event = _Scheduled(self.now + delay, self._seq, callback)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
         self._live += 1
-        return event
+        if not self._slot:
+            event = _Scheduled(time, seq, callback)
+            heapq.heappush(self._queue, event)
+            return event
+        free = self._free_handles
+        if free:
+            handle = free.pop()
+            handle.time = time
+            handle.seq = seq
+            handle.callback = callback
+            handle.cancelled = False
+            handle.dispatched = False
+        else:
+            handle = EventHandle(time, seq, callback)
+        self._callbacks[seq] = callback
+        self._handles[seq] = handle
+        heapq.heappush(self._heap, (time, seq))
+        return handle
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> _Scheduled:
+    def schedule_at(self, time: float, callback: Callable[[], None]):
         """Run ``callback`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}: simulated time is already {self.now}"
+            )
         return self.schedule(time - self.now, callback)
 
-    def cancel(self, event: _Scheduled) -> None:
+    def call_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute ``time``, without a cancel handle.
+
+        The steady-path scheduling primitive for fire-and-forget events
+        (message deliveries, probe arrivals): in slot mode it pushes one
+        heap tuple and one dict slot and allocates no handle object.
+        Events scheduled this way cannot be cancelled.  Consumes the
+        same sequence number either way, so dispatch order is identical
+        across queue modes.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}: simulated time is already {self.now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        if self._slot:
+            self._callbacks[seq] = callback
+            heapq.heappush(self._heap, (time, seq))
+        else:
+            heapq.heappush(self._queue, _Scheduled(time, seq, callback))
+
+    def cancel(self, event) -> None:
         """Cancel a scheduled event (no-op if it already ran)."""
         if event.cancelled or event.dispatched:
             return
         event.cancelled = True
         self._live -= 1
         self._tombstones += 1
-        if (
-            self._tombstones * 2 > len(self._queue)
-            and len(self._queue) >= _COMPACT_FLOOR
-        ):
+        if self._slot:
+            # The slot entries are the live-ness marker; the heap tuple
+            # stays behind as a tombstone until popped or compacted.
+            del self._callbacks[event.seq]
+            del self._handles[event.seq]
+            queue_len = len(self._heap)
+        else:
+            queue_len = len(self._queue)
+        if self._tombstones * 2 > queue_len and queue_len >= _COMPACT_FLOOR:
             self._compact()
 
     def _compact(self) -> None:
@@ -104,10 +215,16 @@ class Simulator:
         until they bubble to the top; a schedule/cancel-heavy workload
         (timeouts that rarely fire) would otherwise grow the queue
         without bound.  Heapify of the survivors is O(n) and preserves
-        dispatch order because (time, seq) keys are unique.
+        dispatch order because (time, seq) keys are unique.  In slot
+        mode this is a plain array filter against the slot table.
         """
-        self._queue = [event for event in self._queue if not event.cancelled]
-        heapq.heapify(self._queue)
+        if self._slot:
+            callbacks = self._callbacks
+            self._heap = [item for item in self._heap if item[1] in callbacks]
+            heapq.heapify(self._heap)
+        else:
+            self._queue = [event for event in self._queue if not event.cancelled]
+            heapq.heapify(self._queue)
         self._tombstones = 0
 
     def advance(self, delta: float) -> None:
@@ -125,41 +242,93 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
-        dispatched = 0
-        profiler = self.profiler
         try:
-            while self._queue:
-                if max_events is not None and dispatched >= max_events:
-                    break
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    self._tombstones -= 1
-                    continue
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._queue)
-                event.dispatched = True
-                self._live -= 1
-                self.now = max(self.now, event.time)
-                if profiler is not None:
-                    wall_start = perf_counter()
-                    event.callback()
-                    profiler.record(
-                        event.callback,
-                        perf_counter() - wall_start,
-                        len(self._queue),
-                        self.now,
-                    )
-                else:
-                    event.callback()
-                dispatched += 1
+            if self._slot:
+                dispatched = self._run_slot(until, max_events)
+            else:
+                dispatched = self._run_reference(until, max_events)
             if until is not None:
                 self.now = max(self.now, until)
         finally:
             self._running = False
         if dispatched and self.tracer.enabled:
             self.tracer.event("sim.run", dispatched=dispatched)
+        return dispatched
+
+    def _run_slot(self, until: float | None, max_events: int | None) -> int:
+        dispatched = 0
+        heap = self._heap
+        callbacks = self._callbacks
+        handles = self._handles
+        free = self._free_handles
+        heappop = heapq.heappop
+        profiler = self.profiler
+        while heap:
+            if max_events is not None and dispatched >= max_events:
+                break
+            time, seq = heap[0]
+            callback = callbacks.get(seq)
+            if callback is None:
+                heappop(heap)
+                self._tombstones -= 1
+                continue
+            if until is not None and time > until:
+                break
+            heappop(heap)
+            del callbacks[seq]
+            handle = handles.pop(seq, None)
+            if handle is not None:
+                handle.dispatched = True
+                # Recycle only when the kernel holds the last references
+                # (the local plus getrefcount's argument): a caller that
+                # kept the handle may still cancel() it later, and that
+                # must stay a no-op on *this* event, not a future one.
+                if getrefcount(handle) == 2 and len(free) < _FREE_LIST_LIMIT:
+                    handle.callback = None
+                    free.append(handle)
+            self._live -= 1
+            if time > self.now:
+                self.now = time
+            if profiler is not None:
+                wall_start = perf_counter()
+                callback()
+                profiler.record(
+                    callback, perf_counter() - wall_start, len(heap), self.now
+                )
+            else:
+                callback()
+            dispatched += 1
+        return dispatched
+
+    def _run_reference(self, until: float | None, max_events: int | None) -> int:
+        dispatched = 0
+        profiler = self.profiler
+        while self._queue:
+            if max_events is not None and dispatched >= max_events:
+                break
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                self._tombstones -= 1
+                continue
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            event.dispatched = True
+            self._live -= 1
+            self.now = max(self.now, event.time)
+            if profiler is not None:
+                wall_start = perf_counter()
+                event.callback()
+                profiler.record(
+                    event.callback,
+                    perf_counter() - wall_start,
+                    len(self._queue),
+                    self.now,
+                )
+            else:
+                event.callback()
+            dispatched += 1
         return dispatched
 
     def drain(self) -> int:
@@ -192,3 +361,8 @@ class Simulator:
         the dispatch loop, not a scan of the heap.
         """
         return self._live
+
+    @property
+    def queue_depth(self) -> int:
+        """Physical heap length, tombstones included (both queue modes)."""
+        return len(self._heap) if self._slot else len(self._queue)

@@ -31,14 +31,18 @@ deterministic per seed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Any, Callable, Iterable
 
 from repro.errors import SimulationError
 from repro.obs.trace import NULL_TRACER, Span, Tracer
 from repro.sim.kernel import Simulator
 
+#: Deterministic completion order for gather replies.
+_REPLY_ORDER = attrgetter("completed_at", "site")
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class ProbeReply:
     """One successful probe from a :meth:`Network.gather` call."""
 
@@ -47,7 +51,7 @@ class ProbeReply:
     completed_at: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GatherResult:
     """Outcome of a batched :meth:`Network.gather` round.
 
@@ -233,6 +237,15 @@ class Network:
         """Can a message flow from ``src`` to ``dst`` right now?"""
         self._check_site(src)
         self._check_site(dst)
+        return self._reachable(src, dst)
+
+    def _reachable(self, src: int, dst: int) -> bool:
+        """:meth:`reachable` minus the site-range validation.
+
+        Internal message legs only probe sites the network itself
+        addressed, so the per-message fast path skips re-validating
+        them; the public :meth:`reachable` keeps the range check.
+        """
         if src in self._crashed or dst in self._crashed:
             return False
         if src == dst or not self._groups:
@@ -258,14 +271,14 @@ class Network:
         self.messages_sent += 1
         self.sim.advance(self.latency)
         self.sim.drain()  # apply failures due while the message travelled
-        if not self.reachable(src, dst) or self._lost():
+        if not self._reachable(src, dst) or self._lost():
             self.messages_dropped += 1
             raise Timeout(dst)
         result = handler()
         self.messages_sent += 1
         self.sim.advance(self.latency)
         self.sim.drain()
-        if not self.reachable(dst, src) or self._lost():
+        if not self._reachable(dst, src) or self._lost():
             self.messages_dropped += 1
             raise Timeout(dst)
         return result
@@ -321,28 +334,40 @@ class Network:
                     break
             arrive_at = sim.now + self.latency
             reply_at = arrive_at + self.latency
-            for site in wave:
-                attempted.append(site)
-                self.messages_sent += 1
-                span = (
-                    self.tracer.start_span(
+            if traced:
+                for site in wave:
+                    attempted.append(site)
+                    self.messages_sent += 1
+                    span = self.tracer.start_span(
                         "rpc", kind="rpc", site=site, src=src, dst=site, batched=True
                     )
-                    if traced
-                    else None
-                )
-                sim.schedule_at(
+                    sim.call_at(
+                        arrive_at,
+                        self._probe(
+                            src, site, handler, span, reply_at, replies, failed
+                        ),
+                    )
+            else:
+                # One arrival and one delivery event carry the whole
+                # wave: per-site checks, RNG draws, handler calls, and
+                # counter updates run in the same order the per-probe
+                # events would have dispatched in (launch order at equal
+                # timestamps), so every observable — replies, message
+                # counters, failure sets — is byte-identical.
+                attempted.extend(wave)
+                self.messages_sent += len(wave)
+                sim.call_at(
                     arrive_at,
-                    self._probe(src, site, handler, span, reply_at, replies, failed),
+                    self._wave_arrive(
+                        src, tuple(wave), handler, reply_at, replies, failed
+                    ),
                 )
             # One pass dispatches both legs: request arrivals at
             # ``arrive_at`` run first (after any failure events due in
             # the window) and schedule their replies at ``reply_at``.
             sim.run(until=reply_at)
             responders.update(site for site in wave if site in replies)
-        ordered = tuple(
-            sorted(replies.values(), key=lambda reply: (reply.completed_at, reply.site))
-        )
+        ordered = tuple(sorted(replies.values(), key=_REPLY_ORDER))
         return GatherResult(
             replies=ordered, attempted=tuple(attempted), failed=frozenset(failed)
         )
@@ -360,7 +385,7 @@ class Network:
         """Build the request-leg arrival callback for one gather probe."""
 
         def arrive() -> None:
-            if not self.reachable(src, dst) or self._lost():
+            if not self._reachable(src, dst) or self._lost():
                 self.messages_dropped += 1
                 failed.add(dst)
                 if span is not None:
@@ -374,7 +399,7 @@ class Network:
             self.messages_sent += 1
 
             def deliver() -> None:
-                if not self.reachable(dst, src) or self._lost():
+                if not self._reachable(dst, src) or self._lost():
                     self.messages_dropped += 1
                     failed.add(dst)
                     if span is not None:
@@ -386,22 +411,66 @@ class Network:
                 if span is not None:
                     self.tracer.end_span(span)
 
-            self.sim.schedule_at(reply_at, deliver)
+            self.sim.call_at(reply_at, deliver)
+
+        return arrive
+
+    def _wave_arrive(
+        self,
+        src: int,
+        wave: tuple[int, ...],
+        handler: Callable[[int], Any],
+        reply_at: float,
+        replies: dict[int, ProbeReply],
+        failed: set[int],
+    ) -> Callable[[], None]:
+        """Build the single arrival callback for a whole untraced wave.
+
+        Replays the per-probe :meth:`_probe` semantics for every site in
+        launch order within one event dispatch — reachability checked at
+        arrival time, loss drawn per leg in the same RNG order, handler
+        side effects surviving a lost reply — then schedules one shared
+        delivery event for the sites whose request leg survived.
+        """
+
+        def arrive() -> None:
+            values: list[tuple[int, Any]] = []
+            for dst in wave:
+                if not self._reachable(src, dst) or self._lost():
+                    self.messages_dropped += 1
+                    failed.add(dst)
+                    continue
+                values.append((dst, handler(dst)))
+                self.messages_sent += 1
+            if not values:
+                return
+
+            def deliver() -> None:
+                now = self.sim.now
+                for dst, value in values:
+                    if not self._reachable(dst, src) or self._lost():
+                        self.messages_dropped += 1
+                        failed.add(dst)
+                        continue
+                    replies[dst] = ProbeReply(
+                        site=dst, value=value, completed_at=now
+                    )
+
+            self.sim.call_at(reply_at, deliver)
 
         return arrive
 
     def send(self, src: int, dst: int, deliver: Callable[[], None]) -> None:
         """Asynchronous one-way message through the event queue."""
         self.messages_sent += 1
-        if not self.reachable(src, dst) or self._lost():
+        if not self._reachable(src, dst) or self._lost():
             self.messages_dropped += 1
             if self.tracer.enabled:
                 self.tracer.event("msg.dropped", site=src, dst=dst)
             return
         if self.tracer.enabled:
             self.tracer.event("msg.send", site=src, dst=dst)
-        delay = self.latency
-        self.sim.schedule(delay, self._guarded(dst, deliver))
+        self.sim.call_at(self.sim.now + self.latency, self._guarded(dst, deliver))
 
     def _guarded(self, dst: int, deliver: Callable[[], None]) -> Callable[[], None]:
         def run() -> None:

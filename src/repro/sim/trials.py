@@ -24,7 +24,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.compute.parallel import available_cpus, parallel_map, resolve_jobs
 
-__all__ = ["run_trials", "available_cpus", "resolve_jobs"]
+__all__ = ["run_trials", "seed_range", "available_cpus", "resolve_jobs"]
 
 R = TypeVar("R")
 
@@ -34,6 +34,7 @@ def run_trials(
     seeds: Iterable[int],
     *,
     jobs: int | None = None,
+    chunksize: int | None = None,
 ) -> tuple[list[R], bool]:
     """Run ``trial(seed)`` for every seed, sharding across processes.
 
@@ -44,17 +45,26 @@ def run_trials(
     fallback), so benchmarks can report single-CPU runs as such instead
     of claiming a speedup.
 
+    ``chunksize`` batches seeds per worker round trip; the default
+    ``ceil(len(seeds) / jobs)`` ships each worker its whole shard in
+    one pickle exchange, which is the right grain for trials that each
+    take milliseconds.  Pass ``1`` for per-seed dispatch when trial
+    durations vary wildly and work stealing matters more than transport.
+
     Determinism: each trial sees only its seed, every worker computes
     the same pure function, and reassembly is by input position — so
     the result list, and anything aggregated from it in order, is
-    byte-identical to a serial sweep of the same seeds.
+    byte-identical to a serial sweep of the same seeds, whatever the
+    jobs and chunksize.
     """
     seed_list = list(seeds)
     effective = resolve_jobs(jobs)
     if effective <= 1 or len(seed_list) <= 1:
         return [trial(seed) for seed in seed_list], False
+    if chunksize is None:
+        chunksize = -(-len(seed_list) // effective)
     try:
-        return parallel_map(trial, seed_list, effective)
+        return parallel_map(trial, seed_list, effective, chunksize=chunksize)
     except Exception:
         # Unpicklable trial or result, worker crash, or any other pool
         # breakage parallel_map does not already absorb: the sweep is

@@ -13,12 +13,44 @@ from dataclasses import dataclass, field
 from repro.clocks.timestamps import Timestamp
 
 
-@dataclass(frozen=True, slots=True)
 class ActionId:
-    """A globally unique action identifier: sequence number plus home site."""
+    """A globally unique action identifier: sequence number plus home site.
 
-    seq: int
-    site: int = 0
+    Hand-written ``__slots__`` value type with a precomputed hash: action
+    ids key the log's per-action indexes and the transaction-manager maps
+    on every operation, and the cached hash (identical to the dataclass
+    hash it replaces) removes per-lookup rehashing from the hot path.
+    Action ids are not interned — their key space grows with the run.
+    """
+
+    __slots__ = ("seq", "site", "_hash")
+
+    def __init__(self, seq: int, site: int = 0):
+        object.__setattr__(self, "seq", seq)
+        object.__setattr__(self, "site", site)
+        object.__setattr__(self, "_hash", hash((seq, site)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"ActionId is immutable (tried to set {name!r})")
+
+    def __delattr__(self, name):
+        raise AttributeError(f"ActionId is immutable (tried to delete {name!r})")
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if not isinstance(other, ActionId):
+            return NotImplemented
+        return self.seq == other.seq and self.site == other.site
+
+    def __hash__(self):
+        return self._hash
+
+    def __reduce__(self):
+        return (ActionId, (self.seq, self.site))
+
+    def __repr__(self):
+        return f"ActionId(seq={self.seq!r}, site={self.site!r})"
 
     def __str__(self) -> str:
         return f"T{self.seq}@{self.site}"

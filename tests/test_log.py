@@ -78,3 +78,64 @@ class TestMergeLaws:
     @given(entries_strategy)
     def test_merge_with_empty_is_identity(self, log):
         assert log.merge(Log()) == log
+
+
+class TestExtensionLineage:
+    """fresh_since recovers exact deltas through the extended() chain."""
+
+    def test_single_link_returns_the_fresh_entries(self):
+        base = Log([_entry(1), _entry(2)])
+        grown = base.extended([_entry(3), _entry(4)])
+        delta = grown.fresh_since(base)
+        assert delta is not None
+        assert frozenset(delta) == grown.entry_set - base.entry_set
+
+    def test_multi_link_chain_concatenates_in_order(self):
+        base = Log([_entry(1)])
+        node = base
+        for counter in range(2, 12):
+            node = node.extended([_entry(counter)])
+        delta = node.fresh_since(base)
+        assert delta is not None
+        assert frozenset(delta) == node.entry_set - base.entry_set
+        assert len(delta) == 10
+
+    def test_self_is_the_empty_delta(self):
+        log = Log([_entry(1)])
+        assert log.fresh_since(log) == ()
+
+    def test_merge_breaks_the_chain(self):
+        base = Log([_entry(1)])
+        other = Log([_entry(2), _entry(3)])
+        merged = base.merge(other)
+        assert merged.fresh_since(base) is None  # fallback path
+
+    def test_unrelated_ancestor_returns_none(self):
+        base = Log([_entry(1)])
+        grown = base.extended([_entry(2)])
+        stranger = Log([_entry(1)])
+        assert grown.fresh_since(stranger) is None
+
+    def test_chain_restarts_at_the_length_cap(self):
+        from repro.replication.log import _LINEAGE_LIMIT
+
+        base = Log([_entry(1)])
+        node = base
+        for counter in range(2, _LINEAGE_LIMIT + 4):
+            node = node.extended([_entry(counter)])
+        # Beyond the cap the chain restarted: the full walk fails ...
+        assert node.fresh_since(base) is None
+        # ... but short suffixes below the cap still resolve exactly.
+        tip = node.extended([_entry(100)])
+        delta = tip.fresh_since(node)
+        assert delta is not None
+        assert frozenset(delta) == tip.entry_set - node.entry_set
+
+    def test_pickle_drops_lineage_but_preserves_the_log(self):
+        import pickle
+
+        base = Log([_entry(1)])
+        grown = base.extended([_entry(2)])
+        copied = pickle.loads(pickle.dumps(grown))
+        assert copied == grown
+        assert copied.fresh_since(base) is None  # lineage not shipped

@@ -1,0 +1,203 @@
+"""Batched availability must be bit-identical to the scalar reference.
+
+The whole point of :mod:`repro.quorum.batch` is that the vectorized
+paths change *nothing* about the numbers — every equality below is
+``==`` on floats, not ``pytest.approx``.  Only the opt-in numpy
+accelerator (which reorders reductions) gets a tolerance.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dependency import known
+from repro.dependency.static_dep import minimal_static_dependency
+from repro.errors import QuorumError
+from repro.quorum.assignment import OperationQuorums, QuorumAssignment
+from repro.quorum.availability import (
+    _poisson_binomial_tail,
+    _upset_probability,
+    binomial_tail,
+    coterie_availability,
+    operation_availability,
+)
+from repro.quorum.batch import (
+    HAVE_NUMPY,
+    AvailabilityBatch,
+    binomial_tails,
+    binomial_tails_grid,
+    operation_availability_many,
+    poisson_binomial_tails,
+    threshold_frontier_sweep,
+    upset_table,
+)
+from repro.quorum.coterie import EmptyCoterie, ExplicitCoterie, ThresholdCoterie
+from repro.quorum.search import threshold_frontier
+from repro.types import PROM, Register
+
+PROBABILITIES = (0.0, 0.1, 0.5, 0.75, 0.9, 0.99, 1.0)
+
+
+class TestBinomialTails:
+    @given(st.integers(0, 12), st.floats(0.0, 1.0))
+    def test_every_tail_bit_identical(self, n, p):
+        tails = binomial_tails(n, p)
+        assert len(tails) == n + 2
+        for k in range(n + 2):
+            assert tails[k] == binomial_tail(n, k, p)
+
+    def test_tail_zero_is_total_mass(self):
+        # Sum of the whole pmf, in pmf order — exactly the scalar's k=0 sum.
+        assert binomial_tails(5, 0.9)[0] == binomial_tail(5, 0, 0.9)
+
+    def test_past_end_tail_is_zero(self):
+        assert binomial_tails(4, 0.7)[5] == 0.0
+
+    def test_exact_grid_matches_per_point(self):
+        grid = binomial_tails_grid(5, PROBABILITIES)
+        assert grid == tuple(binomial_tails(5, p) for p in PROBABILITIES)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy accelerator not installed")
+    def test_numpy_grid_is_opt_in_and_close(self):
+        exact = binomial_tails_grid(7, PROBABILITIES, exact=True)
+        fast = binomial_tails_grid(7, PROBABILITIES, exact=False)
+        assert len(fast) == len(exact)
+        for exact_row, fast_row in zip(exact, fast):
+            for a, b in zip(exact_row, fast_row):
+                assert abs(a - b) < 1e-12
+
+
+class TestPoissonBinomialTails:
+    @given(st.lists(st.floats(0.0, 1.0), min_size=0, max_size=8))
+    def test_every_tail_bit_identical(self, probs):
+        tails = poisson_binomial_tails(probs)
+        assert len(tails) == len(probs) + 2
+        for k in range(len(probs) + 1):
+            assert tails[k] == _poisson_binomial_tail(probs, k)
+
+
+class TestUpsetTable:
+    def test_weights_reproduce_upset_probability(self):
+        probs = (0.95, 0.7, 0.5, 0.8)
+        coterie = ExplicitCoterie(4, [{0, 1}, {2, 3}, {0, 3}])
+        table = upset_table(4, probs)
+        total = 0.0
+        for live, weight in table:
+            if weight and coterie.has_quorum(live):
+                total += weight
+        assert total == _upset_probability(4, probs, coterie.has_quorum)
+
+    def test_respects_exact_limit(self):
+        with pytest.raises(QuorumError):
+            upset_table(21, (0.9,) * 21)
+
+
+def _assignment(n, init, final):
+    return QuorumAssignment(
+        n,
+        {
+            "Op": OperationQuorums(
+                initial=ThresholdCoterie(n, init),
+                final=(
+                    EmptyCoterie(n) if final == 0 else ThresholdCoterie(n, final)
+                ),
+            )
+        },
+    )
+
+
+class TestAvailabilityBatch:
+    @given(st.integers(1, 6), st.floats(0.0, 1.0))
+    def test_threshold_operations_bit_identical(self, n, p):
+        batch = AvailabilityBatch(n, p)
+        for init in range(n + 1):
+            for final in range(n + 1):
+                assignment = _assignment(n, init, final)
+                assert batch.operation(assignment, "Op") == (
+                    operation_availability(assignment, "Op", p)
+                )
+
+    def test_heterogeneous_threshold_bit_identical(self):
+        probs = [0.99, 0.6, 0.6]
+        for init in range(1, 4):
+            for final in range(4):
+                assignment = _assignment(3, init, final)
+                batch = AvailabilityBatch(3, probs)
+                assert batch.operation(assignment, "Op") == (
+                    operation_availability(assignment, "Op", probs)
+                )
+
+    def test_explicit_coterie_bit_identical(self):
+        probs = [0.9, 0.5, 0.8, 0.7]
+        explicit = ExplicitCoterie(4, [{0, 1}, {1, 2, 3}])
+        batch = AvailabilityBatch(4, probs)
+        assert batch.coterie(explicit) == coterie_availability(explicit, probs)
+        assignment = QuorumAssignment(
+            4,
+            {
+                "Op": OperationQuorums(
+                    initial=explicit, final=ThresholdCoterie(4, 2)
+                )
+            },
+        )
+        assert batch.operation(assignment, "Op") == (
+            operation_availability(assignment, "Op", probs)
+        )
+
+    def test_shared_state_does_not_drift(self):
+        # Many queries against one batch must keep answering exactly
+        # what fresh scalar calls answer.
+        batch = AvailabilityBatch(5, 0.85)
+        for init in (1, 3, 5):
+            for final in (0, 2, 4):
+                assignment = _assignment(5, init, final)
+                for _ in range(2):
+                    assert batch.operation(assignment, "Op") == (
+                        operation_availability(assignment, "Op", 0.85)
+                    )
+
+    def test_operation_availability_many(self):
+        assignment = QuorumAssignment(
+            3,
+            {
+                "R": OperationQuorums(
+                    initial=ThresholdCoterie(3, 1), final=EmptyCoterie(3)
+                ),
+                "W": OperationQuorums(
+                    initial=ThresholdCoterie(3, 2), final=ThresholdCoterie(3, 2)
+                ),
+            },
+        )
+        values = operation_availability_many(assignment, ("R", "W"), 0.9)
+        assert values == {
+            "R": operation_availability(assignment, "R", 0.9),
+            "W": operation_availability(assignment, "W", 0.9),
+        }
+
+
+class TestThresholdFrontierSweep:
+    @pytest.fixture(scope="class")
+    def relations(self):
+        prom = PROM()
+        return (
+            known.ground(prom, known.PROM_HYBRID, 5),
+            known.ground(prom, known.PROM_STATIC, 5),
+        )
+
+    def test_sweep_bit_identical_to_per_point_frontier(self, relations):
+        ops = ("Read", "Seal", "Write")
+        for relation in relations:
+            sweep = threshold_frontier_sweep(relation, 5, ops, PROBABILITIES)
+            assert [p for p, _frontier in sweep] == list(PROBABILITIES)
+            for p, frontier in sweep:
+                assert frontier == threshold_frontier(relation, 5, ops, p)
+
+    def test_sweep_on_register(self):
+        relation = minimal_static_dependency(Register(), 3)
+        sweep = threshold_frontier_sweep(
+            relation, 3, ("Read", "Write"), (0.6, 0.9)
+        )
+        for p, frontier in sweep:
+            assert frontier == threshold_frontier(
+                relation, 3, ("Read", "Write"), p
+            )

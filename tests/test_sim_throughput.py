@@ -35,7 +35,7 @@ from repro.replication.cluster import build_cluster
 from repro.replication.log import Log, LogEntry
 from repro.replication.snapshot import compact
 from repro.replication.viewcache import QuorumViewCache
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import QUEUE_MODES, Simulator
 from repro.sim.network import Network, ProbeReply
 from repro.sim.trials import run_trials, seed_range
 from repro.sim.workload import OperationMix, WorkloadGenerator
@@ -50,12 +50,19 @@ pytestmark = pytest.mark.throughput
 
 def _brute_force_pending(sim: Simulator) -> int:
     """The O(n) scan ``Simulator.pending`` used to be."""
+    if sim.queue_mode == "slot":
+        return sum(1 for _time, seq in sim._heap if seq in sim._callbacks)
     return sum(1 for scheduled in sim._queue if not scheduled.cancelled)
 
 
+@pytest.fixture(params=QUEUE_MODES)
+def queue_mode(request) -> str:
+    return request.param
+
+
 class TestPendingCounter:
-    def test_agrees_with_brute_force_through_mixed_sequences(self):
-        sim = Simulator(seed=5)
+    def test_agrees_with_brute_force_through_mixed_sequences(self, queue_mode):
+        sim = Simulator(seed=5, queue_mode=queue_mode)
         handles = []
         for step in range(400):
             choice = sim.rng.random()
@@ -69,8 +76,8 @@ class TestPendingCounter:
         sim.run()
         assert sim.pending == _brute_force_pending(sim) == 0
 
-    def test_cancel_after_dispatch_is_a_noop(self):
-        sim = Simulator()
+    def test_cancel_after_dispatch_is_a_noop(self, queue_mode):
+        sim = Simulator(queue_mode=queue_mode)
         handle = sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.pending == 0
@@ -79,8 +86,8 @@ class TestPendingCounter:
         sim.schedule(1.0, lambda: None)
         assert sim.pending == 1
 
-    def test_double_cancel_counts_once(self):
-        sim = Simulator()
+    def test_double_cancel_counts_once(self, queue_mode):
+        sim = Simulator(queue_mode=queue_mode)
         handle = sim.schedule(1.0, lambda: None)
         other = sim.schedule(2.0, lambda: None)
         sim.cancel(handle)
@@ -92,20 +99,20 @@ class TestPendingCounter:
 
 
 class TestHeapCompaction:
-    def test_cancelling_ten_thousand_events_bounds_the_queue(self):
-        sim = Simulator()
+    def test_cancelling_ten_thousand_events_bounds_the_queue(self, queue_mode):
+        sim = Simulator(queue_mode=queue_mode)
         handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10_000)]
-        assert len(sim._queue) == 10_000
+        assert sim.queue_depth == 10_000
         for handle in handles:
             sim.cancel(handle)
         # Without compaction all 10k tombstones would sit in the heap
         # until popped; with it the queue ends (essentially) empty.
         assert sim.pending == 0
-        assert len(sim._queue) < 64
+        assert sim.queue_depth < 64
         assert sim.run() == 0
 
-    def test_queue_stays_proportional_to_live_events(self):
-        sim = Simulator()
+    def test_queue_stays_proportional_to_live_events(self, queue_mode):
+        sim = Simulator(queue_mode=queue_mode)
         fired = []
         keep = []
         for i in range(10_000):
@@ -116,12 +123,12 @@ class TestHeapCompaction:
                 sim.cancel(handle)
         # 1000 live events; tombstones never exceed half the queue.
         assert sim.pending == 1_000
-        assert len(sim._queue) <= 2 * 1_000 + 64
+        assert sim.queue_depth <= 2 * 1_000 + 64
         sim.run()
         assert fired == keep  # survivors dispatch in time order
 
-    def test_compaction_preserves_dispatch_order(self):
-        sim = Simulator(seed=3)
+    def test_compaction_preserves_dispatch_order(self, queue_mode):
+        sim = Simulator(seed=3, queue_mode=queue_mode)
         fired = []
         live = {}
         for i in range(2_000):
@@ -543,3 +550,178 @@ class TestTrialSharding:
         assert parallel_used is False
         assert results == [(1, captured["note"]), (2, captured["note"]),
                            (3, captured["note"])]
+
+
+# -- allocation-free simulator core (PR 8) ------------------------------------
+
+
+class TestScheduleAtErrorMessages:
+    """A past-time error must name both the target and the current clock."""
+
+    def test_schedule_at_reports_target_and_now(self, queue_mode):
+        sim = Simulator(queue_mode=queue_mode)
+        sim.advance(5.0)
+        with pytest.raises(SimulationError) as err:
+            sim.schedule_at(2.0, lambda: None)
+        assert "2.0" in str(err.value)
+        assert "5.0" in str(err.value)
+
+    def test_call_at_reports_target_and_now(self, queue_mode):
+        sim = Simulator(queue_mode=queue_mode)
+        sim.advance(7.5)
+        with pytest.raises(SimulationError) as err:
+            sim.call_at(3.25, lambda: None)
+        assert "3.25" in str(err.value)
+        assert "7.5" in str(err.value)
+
+    def test_boundary_time_is_allowed(self, queue_mode):
+        sim = Simulator(queue_mode=queue_mode)
+        sim.advance(4.0)
+        fired = []
+        sim.schedule_at(4.0, lambda: fired.append("handle"))
+        sim.call_at(4.0, lambda: fired.append("anon"))
+        sim.run()
+        assert fired == ["handle", "anon"]
+        assert sim.now == 4.0
+
+
+class TestSlotReferenceEquivalence:
+    """Randomized interleavings drive both queue modes identically.
+
+    One generated script of schedule / schedule_at / call_at / cancel /
+    run steps (thousands of operations) is replayed against a slot-mode
+    and a reference-mode kernel; the clock, the live-event counter, the
+    physical queue depth (compaction included), and the full dispatch
+    sequence must agree at every step.
+    """
+
+    @pytest.mark.parametrize("script_seed", [0, 1, 2])
+    def test_randomized_interleavings_dispatch_identically(self, script_seed):
+        import random
+
+        rng = random.Random(script_seed)
+        script = []
+        for _ in range(2_500):
+            roll = rng.random()
+            if roll < 0.35:
+                script.append(("schedule", rng.random() * 20.0))
+            elif roll < 0.45:
+                script.append(("schedule_at", rng.random() * 25.0))
+            elif roll < 0.60:
+                script.append(("call_at", rng.random() * 25.0))
+            elif roll < 0.85:
+                script.append(("cancel", rng.randrange(1 << 30)))
+            else:
+                script.append(("run", rng.random() * 4.0))
+
+        sims = {mode: Simulator(seed=9, queue_mode=mode) for mode in QUEUE_MODES}
+        fired = {mode: [] for mode in QUEUE_MODES}
+        handles = {mode: [] for mode in QUEUE_MODES}
+        for step, (op, arg) in enumerate(script):
+            for mode, sim in sims.items():
+                log = fired[mode]
+                if op == "schedule":
+                    handles[mode].append(
+                        sim.schedule(arg, lambda s=step, log=log: log.append(s))
+                    )
+                elif op == "schedule_at":
+                    handles[mode].append(
+                        sim.schedule_at(
+                            sim.now + arg, lambda s=step, log=log: log.append(s)
+                        )
+                    )
+                elif op == "call_at":
+                    sim.call_at(
+                        sim.now + arg, lambda s=step, log=log: log.append(s)
+                    )
+                elif op == "cancel":
+                    if handles[mode]:
+                        sim.cancel(handles[mode][arg % len(handles[mode])])
+                else:
+                    sim.run(until=sim.now + arg)
+            slot, ref = sims["slot"], sims["reference"]
+            assert slot.now == ref.now, f"clock diverged at step {step}"
+            assert slot.pending == ref.pending, f"pending diverged at step {step}"
+            assert slot.queue_depth == ref.queue_depth, (
+                f"queue depth diverged at step {step}"
+            )
+            assert fired["slot"] == fired["reference"], (
+                f"dispatch order diverged at step {step}"
+            )
+        for sim in sims.values():
+            sim.run()
+        assert fired["slot"] == fired["reference"]
+        assert sims["slot"].now == sims["reference"].now
+        assert sims["slot"].pending == sims["reference"].pending == 0
+
+
+class TestAllocationFreeCore:
+    """The hot paths must not retain memory per event at steady state."""
+
+    def test_steady_call_at_loop_retains_nothing(self):
+        sim = Simulator()
+        tick = lambda: None  # noqa: E731 - a single shared callback
+        for _ in range(1_000):  # warm the heap, dict, and free-list
+            sim.call_at(sim.now + 1.0, tick)
+            sim.run()
+        before = sys.getallocatedblocks()
+        for _ in range(10_000):
+            sim.call_at(sim.now + 1.0, tick)
+            sim.run()
+        after = sys.getallocatedblocks()
+        assert after - before < 50
+
+    def test_schedule_cancel_churn_retains_nothing(self):
+        sim = Simulator()
+        tick = lambda: None  # noqa: E731
+        for _ in range(1_000):
+            sim.cancel(sim.schedule(1.0, tick))
+        before = sys.getallocatedblocks()
+        for _ in range(10_000):
+            sim.cancel(sim.schedule(1.0, tick))
+        after = sys.getallocatedblocks()
+        assert after - before < 50
+
+    def test_dispatched_handles_are_recycled(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        recycled_id = id(handle)
+        del handle  # the kernel holds the last reference at dispatch
+        sim.run()
+        fresh = sim.schedule(1.0, lambda: None)
+        assert id(fresh) is not None and id(fresh) == recycled_id
+
+    def test_retained_handles_are_never_recycled(self):
+        sim = Simulator()
+        kept = sim.schedule(1.0, lambda: None)
+        sim.run()
+        fresh = sim.schedule(1.0, lambda: None)
+        assert fresh is not kept
+        assert kept.dispatched
+        sim.cancel(kept)  # stale cancel: must be a no-op on the new event
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0  # the new event still dispatched
+
+    def test_message_flyweights_are_interned(self):
+        from repro.histories.events import Event, Invocation, Response
+
+        inv = Invocation("Enq", (3,))
+        assert inv is Invocation("Enq", (3,))
+        res = Response("Ok", ())
+        assert res is Response("Ok", ())
+        assert Event(inv, res) is Event(inv, res)
+        # Interning preserves equality semantics for uncached values too.
+        assert Invocation("Enq", (4,)) == Invocation("Enq", (4,))
+
+    def test_event_construction_at_steady_state_allocates_nothing(self):
+        from repro.histories.events import Event, Invocation, Response
+
+        for value in range(8):  # warm the intern tables
+            Event(Invocation("Enq", (value,)), Response("Ok", ()))
+        before = sys.getallocatedblocks()
+        for _ in range(10_000):
+            for value in range(8):
+                Event(Invocation("Enq", (value,)), Response("Ok", ()))
+        after = sys.getallocatedblocks()
+        assert after - before < 50
