@@ -40,6 +40,22 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: every artifact says whether a pool ran — no artifact implies one did.
 _PARALLELISM = {"pool_engaged": False, "parallel_speedup": 1.0}
 
+#: Whether the current benchmark ran with the adaptive quorum tuner
+#: driving reconfigurations.  Benchmarks that enable tuning call
+#: :func:`record_tuner` before emitting; the honest default is "off",
+#: so every artifact says whether its numbers include online
+#: reconfiguration — regression comparisons never conflate the two.
+_TUNER = {"enabled": False}
+
+
+def record_tuner(enabled: bool) -> None:
+    """Record whether the adaptive quorum tuner drove this benchmark.
+
+    Stamped as ``tuner: "on"|"off"`` into the next :func:`emit_json`
+    environment block.
+    """
+    _TUNER["enabled"] = bool(enabled)
+
 
 def record_parallelism(pool_engaged: bool, parallel_speedup: float) -> None:
     """Record the current benchmark's real pool behaviour.
@@ -111,6 +127,7 @@ def emit_json(
         "obs.peak_retained": process_peak_retained(),
         "pool_engaged": _PARALLELISM["pool_engaged"],
         "parallel_speedup": round(_PARALLELISM["parallel_speedup"], 4),
+        "tuner": "on" if _TUNER["enabled"] else "off",
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / f"BENCH_{name}.json"
@@ -138,9 +155,11 @@ def pytest_addoption(parser: pytest.Parser) -> None:
 
 @pytest.fixture(autouse=True)
 def _reset_parallelism():
-    """Reset the pool record so benchmarks never inherit a predecessor's."""
+    """Reset the pool and tuner records so benchmarks never inherit a
+    predecessor's."""
     _PARALLELISM["pool_engaged"] = False
     _PARALLELISM["parallel_speedup"] = 1.0
+    _TUNER["enabled"] = False
     yield
 
 

@@ -17,7 +17,9 @@ Typical entry points:
   :mod:`repro.sim.workload`;
 * observability (tracing, metrics, profiling): :mod:`repro.obs`;
 * resilience (retry policies, crash recovery, chaos sweeps):
-  :mod:`repro.resilience`.
+  :mod:`repro.resilience`;
+* adaptive quorum tuning (mix observation, online reconfiguration):
+  :mod:`repro.tuning`.
 
 The running system's principals — :class:`Simulator`, :class:`Network`,
 :class:`Repository`, :class:`FrontEnd`, :class:`TransactionManager` —
@@ -76,6 +78,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.metrics import MetricRecorder
 from repro.sim.network import GatherResult, Network, ProbeReply
 from repro.sim.trials import run_trials
+from repro.tuning import MixObserver, QuorumTuner, TunerConfig
 from repro.txn.manager import TransactionManager
 
 __version__ = "1.0.0"
@@ -129,6 +132,9 @@ __all__ = [
     "Deadline",
     "OperationResult",
     "POLICIES",
+    "MixObserver",
+    "QuorumTuner",
+    "TunerConfig",
     "__version__",
 ]
 

@@ -270,15 +270,63 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _mix_rows(cluster, observer) -> list[dict]:
+    """Per-object read/write-mix rows (the tuner's inspectable input)."""
+    rows = []
+    for name in sorted(cluster.tm.objects):
+        obj = cluster.tm.object(name)
+        reads, writes = observer.counts(name)
+        fraction = observer.read_fraction(name)
+        rows.append(
+            {
+                "object": name,
+                "reads": reads,
+                "writes": writes,
+                "read_fraction": fraction,
+                "assignment": "; ".join(obj.assignment.describe().splitlines()),
+            }
+        )
+    return rows
+
+
+def _mix_table(rows: list[dict]) -> str:
+    lines = ["per-object read/write mix:"]
+    name_width = max(len("object"), max((len(r["object"]) for r in rows), default=0))
+    lines.append(
+        f"  {'object':<{name_width}}  {'reads':>7}  {'writes':>7}  "
+        f"{'read%':>6}  assignment"
+    )
+    for row in rows:
+        fraction = row["read_fraction"]
+        pct = "-" if fraction is None else f"{100 * fraction:.1f}%"
+        lines.append(
+            f"  {row['object']:<{name_width}}  {row['reads']:>7}  "
+            f"{row['writes']:>7}  {pct:>6}  {row['assignment']}"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.compute.obs import kernel_metrics
+    from repro.resilience.policy import read_only_operations
+    from repro.tuning import MixObserver
 
-    cluster, metrics = _run_workload(args)
+    cluster, generator = _build_workload(args)
+    observer = MixObserver(
+        {
+            name: read_only_operations(obj.datatype)
+            for name, obj in cluster.tm.objects.items()
+        }
+    )
+    observer.attach(cluster.frontends)
+    metrics = generator.run(args.transactions)
+    mix_rows = _mix_rows(cluster, observer)
     if args.format == "json":
         payload = {
             "operations": metrics.summary(),
             "registry": metrics.registry.to_dict(),
             "kernel": kernel_metrics().to_dict(),
+            "mix": {row["object"]: row for row in mix_rows},
             "network": {
                 "messages_sent": cluster.network.messages_sent,
                 "messages_dropped": cluster.network.messages_dropped,
@@ -287,7 +335,10 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         _emit(json.dumps(payload, indent=2, sort_keys=True), args.output)
     else:
         _emit(
-            metrics.table() + "\n\nkernel (this process):\n"
+            metrics.table()
+            + "\n\n"
+            + _mix_table(mix_rows)
+            + "\n\nkernel (this process):\n"
             + kernel_metrics().render(),
             args.output,
         )
@@ -946,6 +997,7 @@ def build_parser() -> argparse.ArgumentParser:
             "log-divergence",
             "quorum-intersection",
             "shard-misroute",
+            "stale-assignment",
             "timestamp-inversion",
         ),
         default=None,

@@ -324,12 +324,42 @@ class QuorumIntersectionMonitor(InvariantMonitor):
     def bind(self, auditor: "Auditor") -> None:
         super().bind(auditor)
         for name, obj in auditor.objects().items():
-            keys = set()
-            relation = getattr(obj.cc, "relation", None)
-            if relation is not None:
-                for invocation, event in relation:
-                    keys.add((invocation.op, event.inv.op, event.res.kind))
-            self._declared[name] = (obj.assignment, frozenset(keys))
+            self._capture(name, obj)
+
+    def _capture(self, name: str, obj: Any) -> None:
+        keys = set()
+        relation = getattr(obj.cc, "relation", None)
+        if relation is not None:
+            for invocation, event in relation:
+                keys.add((invocation.op, event.inv.op, event.res.kind))
+        self._declared[name] = (obj.assignment, frozenset(keys))
+
+    def on_point_event(self, span: Span) -> None:
+        if span.name != "reconfig.switch":
+            return
+        obj_name = span.attrs.get("object")
+        if obj_name is None or self.auditor is None:
+            return
+        obj = self.auditor.objects().get(obj_name)
+        if obj is None:
+            return
+        # A legitimate reconfiguration announces itself: re-capture the
+        # declared assignment from the object's live state and drop the
+        # superseded configuration's caches and observed-quorum buckets
+        # (old-epoch quorums must not be intersection-checked against
+        # new-epoch ones — the hand-over, not intersection, is what
+        # carries history across the switch).  The ``quorum-intersection``
+        # mutation stays caught precisely because it rewrites the
+        # assignment *without* this event.
+        self._capture(obj_name, obj)
+        self._must_intersect = {
+            key: value
+            for key, value in self._must_intersect.items()
+            if key[0] != obj_name
+        }
+        for store in (self._initials, self._finals):
+            for key in [key for key in store if key[0] == obj_name]:
+                del store[key]
 
     def _required(self, obj_name: str, inv_op: str, ev_op: str, kind: str) -> bool:
         cache_key = (obj_name, inv_op, ev_op, kind)
@@ -410,6 +440,84 @@ class QuorumIntersectionMonitor(InvariantMonitor):
                             span=span,
                             object_name=obj_name,
                         )
+
+
+class ReconfigEpochMonitor(InvariantMonitor):
+    """Every quorum runs under the object's current configuration epoch.
+
+    The one-copy-serializability argument for online reconfiguration
+    (``docs/TUNING.md``) has two legs: the drain-and-prime hand-over
+    preserves every installed event across the switch, and *no
+    front-end keeps operating under the superseded assignment* — a
+    stale front-end could assemble quorums that fail to intersect the
+    new configuration's, silently splitting the object's history.  The
+    hand-over is the reconfig layer's proof; this monitor checks the
+    second leg at runtime:
+
+    * ``reconfig.switch`` point events must advance each object's epoch
+      by exactly one (no skipped or replayed switches);
+    * every successful quorum span carrying an ``epoch`` attribute must
+      match the object's current epoch — a mismatch is exactly the
+      ``stale-assignment`` mutation (a front-end that missed the
+      switch and still uses the old quorums).
+
+    Already a streaming fold: state is one integer per object, so the
+    monitor runs unchanged in deep and streaming mode.
+    """
+
+    name = "reconfig-epoch"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._epochs: dict[str, int] = {}
+
+    def bind(self, auditor: "Auditor") -> None:
+        super().bind(auditor)
+        for name, obj in auditor.objects().items():
+            self._epochs[name] = getattr(obj, "epoch", 0)
+
+    # No on_clear, and state_cells stays 0: the epoch map mirrors
+    # durable object configuration (one integer per object, fixed at
+    # bind and advanced by switches), not span-stream accumulation —
+    # the same footing as QuorumIntersectionMonitor's declared
+    # assignments, which the bounded-memory accounting also excludes.
+
+    def on_point_event(self, span: Span) -> None:
+        if span.name != "reconfig.switch":
+            return
+        obj_name = span.attrs.get("object")
+        epoch = span.attrs.get("epoch")
+        if obj_name is None or epoch is None:
+            return
+        current = self._epochs.get(obj_name, 0)
+        if epoch != current + 1:
+            self.report(
+                f"reconfiguration of {obj_name!r} announced epoch {epoch} "
+                f"but the previous epoch was {current} — switches must "
+                "advance the epoch by exactly one",
+                span=span,
+                object_name=obj_name,
+            )
+        self._epochs[obj_name] = epoch
+
+    def on_quorum(self, span: Span) -> None:
+        if span.outcome != "ok" or "epoch" not in span.attrs:
+            return
+        obj_name = span.attrs.get("object")
+        if obj_name is None or obj_name not in self._epochs:
+            return
+        epoch = span.attrs["epoch"]
+        expected = self._epochs[obj_name]
+        if epoch != expected:
+            phase = span.attrs.get("phase", "?")
+            self.report(
+                f"{phase} quorum for {span.attrs.get('op', '?')} on "
+                f"{obj_name!r} ran under epoch {epoch} but the current "
+                f"configuration epoch is {expected} — a front-end is "
+                "using a stale (superseded) quorum assignment",
+                span=span,
+                object_name=obj_name,
+            )
 
 
 class LockDisciplineMonitor(InvariantMonitor):
@@ -816,6 +924,7 @@ def default_monitors() -> list[InvariantMonitor]:
     """The full stock monitor set, in check order."""
     return [
         QuorumIntersectionMonitor(),
+        ReconfigEpochMonitor(),
         LockDisciplineMonitor(),
         TimestampOrderMonitor(),
         LogConsistencyMonitor(),
@@ -828,11 +937,12 @@ def default_monitors() -> list[InvariantMonitor]:
 #: Default sliding-window size for streaming monitors.
 DEFAULT_STREAM_WINDOW = 256
 
-#: The invariants the streaming monitor set checks — the five online
+#: The invariants the streaming monitor set checks — the six online
 #: checks; history-capture and one-copy-serializability need the full
 #: history and stay deep-mode-only.
 STREAMING_INVARIANTS = (
     "quorum-intersection",
+    "reconfig-epoch",
     "lock-discipline",
     "timestamp-order",
     "log-consistency",
@@ -851,6 +961,7 @@ def streaming_monitors(
     """
     return [
         QuorumIntersectionMonitor(window=window),
+        ReconfigEpochMonitor(),
         LockDisciplineMonitor(),
         TimestampOrderMonitor(),
         LogConsistencyMonitor(window=window),

@@ -21,6 +21,7 @@ Registry::
         "timestamp-inversion": ...  # commit timestamp before begin timestamp
         "log-divergence":      ...  # forge a conflicting replica log entry
         "shard-misroute":      ...  # route ops through a non-holding site
+        "stale-assignment":    ...  # front-end keeps pre-reconfig quorums
     }
 
 Each entry is ``apply(cluster) -> str`` returning a one-line description
@@ -214,6 +215,78 @@ def misroute_shard(cluster) -> str:
     )
 
 
+def stale_assignment(cluster) -> str:
+    """One front-end keeps using a superseded quorum assignment.
+
+    The cluster's first object is legitimately reconfigured online (to
+    the always-valid read-everything/write-anywhere layout over its
+    replica set, via the full drain-and-prime hand-over, epoch bump and
+    ``reconfig.switch`` announcement) — but front-end 0's assignment
+    resolution for that object is frozen at the pre-switch
+    ``(assignment, epoch)`` first, modeling a front-end that missed the
+    view change.  Every subsequent operation front-end 0 runs on the
+    object assembles quorums of the *old* configuration and stamps the
+    old epoch on its quorum spans, which the ``reconfig-epoch`` monitor
+    flags against the epoch the switch announced.
+    """
+    from repro.quorum.coterie import EmptyCoterie, SubsetThresholdCoterie
+    from repro.replication.reconfig import reconfigure
+
+    victim_fe = cluster.frontends[0]
+    name = sorted(cluster.tm.objects)[0]
+    obj = cluster.tm.object(name)
+    placement = getattr(cluster, "placement", None)
+    if placement is not None and name in placement.object_names():
+        replicas = frozenset(placement.replicas(name))
+    else:
+        replicas = frozenset(range(obj.assignment.n_sites))
+
+    # Freeze front-end 0's view of the object *before* the switch.
+    stale = victim_fe._assignment_of(obj)
+    original = victim_fe._assignment_of
+
+    def mutated(target, _original=original, _name=name, _stale=stale):
+        if target.name == _name:
+            return _stale
+        return _original(target)
+
+    victim_fe._assignment_of = mutated
+
+    # Legitimate reconfiguration: read-everything initial quorums with
+    # single-site finals over the replica set — totally intersecting,
+    # hence valid under any dependency relation, and different from any
+    # seed layout on two or more replicas.
+    n = obj.assignment.n_sites
+    new_assignment = QuorumAssignment(
+        n,
+        {
+            op: OperationQuorums(
+                initial=SubsetThresholdCoterie(n, replicas, len(replicas)),
+                final=(
+                    SubsetThresholdCoterie(n, replicas, 1)
+                    if len(replicas) > 0
+                    else EmptyCoterie(n)
+                ),
+            )
+            for op in obj.assignment.operation_names
+        },
+    )
+    reconfigure(
+        cluster.network,
+        cluster.repositories,
+        obj,
+        new_assignment,
+        placement=placement,
+        frontends=cluster.frontends,
+        tracer=cluster.tracer,
+    )
+    return (
+        f"front-end 0 pinned to the pre-switch assignment of {name!r} "
+        f"(epoch {stale[1]}) after an online reconfiguration to epoch "
+        f"{obj.epoch}"
+    )
+
+
 #: Mutation registry: name -> apply(cluster) -> description.
 MUTATIONS: dict[str, Callable[..., str]] = {
     "quorum-intersection": break_quorum_intersection,
@@ -221,6 +294,7 @@ MUTATIONS: dict[str, Callable[..., str]] = {
     "timestamp-inversion": invert_timestamps,
     "log-divergence": diverge_logs,
     "shard-misroute": misroute_shard,
+    "stale-assignment": stale_assignment,
 }
 
 #: Which invariant each mutation is expected to trip (used by the sweep
@@ -231,4 +305,5 @@ EXPECTED_INVARIANT = {
     "timestamp-inversion": "timestamp-order",
     "log-divergence": "log-consistency",
     "shard-misroute": "genuine-partial-replication",
+    "stale-assignment": "reconfig-epoch",
 }

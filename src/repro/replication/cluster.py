@@ -48,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
     from repro.resilience.policy import RetryPolicy
     from repro.resilience.recovery import ResilienceRuntime
+    from repro.tuning import QuorumTuner, TunerConfig
 
 
 @dataclass
@@ -125,6 +126,59 @@ class Cluster:
         runtime = ResilienceRuntime(policy, recovery, heal, registry)
         self.resilience = runtime
         return runtime
+
+    def reconfigure(
+        self,
+        name: str,
+        new_assignment: QuorumAssignment,
+        coordinator_site: int = 0,
+        *,
+        registry: "MetricsRegistry | None" = None,
+    ) -> bool:
+        """Switch object ``name`` to ``new_assignment`` online.
+
+        The cluster-aware wrapper over
+        :func:`repro.replication.reconfig.reconfigure`: the hand-over
+        walks the object's replica set (from the placement), every
+        front-end's view/serial caches are invalidated at the switch,
+        and the cluster tracer receives the ``reconfig.*`` spans plus
+        the ``reconfig.switch`` point event the auditor's
+        ``reconfig-epoch`` monitor listens for.  Returns ``True`` when
+        the assignment actually changed (``False`` for a structural
+        no-op).
+        """
+        from repro.replication.reconfig import reconfigure
+
+        return reconfigure(
+            self.network,
+            self.repositories,
+            self.tm.object(name),
+            new_assignment,
+            coordinator_site,
+            placement=self.placement,
+            frontends=self.frontends,
+            tracer=self.tracer,
+            registry=registry,
+        )
+
+    def enable_tuning(
+        self,
+        config: "TunerConfig | None" = None,
+        *,
+        registry: "MetricsRegistry | None" = None,
+    ) -> "QuorumTuner":
+        """Attach the online quorum tuner; returns it.
+
+        Creates a :class:`~repro.tuning.QuorumTuner` over this cluster
+        (wiring its :class:`~repro.tuning.MixObserver` into every
+        front-end's ``op_observer`` hook) and returns it.  Drive it by
+        installing :meth:`~repro.tuning.QuorumTuner.on_transaction_start`
+        as the workload generator's transaction hook, or call
+        :meth:`~repro.tuning.QuorumTuner.maybe_tune` at your own cadence.
+        """
+        from repro.tuning import QuorumTuner
+
+        return QuorumTuner(self, config=config, registry=registry)
 
     def add_object(
         self,

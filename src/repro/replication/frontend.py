@@ -40,6 +40,7 @@ from repro.txn.ids import Transaction
 from repro.txn.manager import TransactionManager
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.quorum.assignment import QuorumAssignment
     from repro.replication.keyspace import Router
 
 
@@ -92,6 +93,11 @@ class FrontEnd:
         self.serial_caches: dict[str, SerialPrefixCache] = {}
         #: Per-front-end policy override; see :meth:`effective_policy`.
         self.retry_policy = retry_policy
+        #: Optional ``(object_name, op_name)`` callback fired once per
+        #: successfully executed operation — the feed for the tuning
+        #: layer's windowed read/write-mix counters.  ``None`` costs one
+        #: attribute check per op on the hot path.
+        self.op_observer: Callable[[str, str], None] | None = None
         #: Object → replica-set resolution for sharded keyspaces.
         self.router = router
         #: Monotone retry sequence, part of the deterministic jitter key
@@ -225,9 +231,10 @@ class FrontEnd:
         obj = self.tm.object(object_name)
         policy = self.effective_policy()
         deadline = policy.deadline(self.network.sim) if policy is not None else None
-        initial = obj.assignment.initial(invocation)
+        assignment, epoch = self._assignment_of(obj)
+        initial = assignment.initial(invocation)
         merged, base = self._retrying(
-            lambda: self._read_quorum(obj, initial, invocation.op),
+            lambda: self._read_quorum(obj, initial, invocation.op, epoch),
             policy,
             deadline,
         )
@@ -251,10 +258,12 @@ class FrontEnd:
         event = obj.cc.choose_event(view, txn, invocation, obj.sync)
 
         entry = LogEntry(self.clock.tick(), event, txn.id)
-        final = obj.assignment.final(event)
+        final = assignment.final(event)
         try:
             self._retrying(
-                lambda: self._write_quorum(obj, final, view.log.add(entry), event),
+                lambda: self._write_quorum(
+                    obj, final, view.log.add(entry), event, epoch
+                ),
                 policy,
                 deadline,
             )
@@ -284,6 +293,8 @@ class FrontEnd:
         obj.cc.on_executed(txn, event, obj.sync)
         txn.touched.add(object_name)
         obj.recorder.record_op(txn, event)
+        if self.op_observer is not None:
+            self.op_observer(object_name, invocation.op)
         if self.tracer.enabled:
             span.annotate(entry_ts=str(entry.ts), response=str(event.res))
         return event.res
@@ -324,6 +335,20 @@ class FrontEnd:
 
     # -- quorum assembly ---------------------------------------------------------
 
+    def _assignment_of(
+        self, obj: ReplicatedObject
+    ) -> tuple["QuorumAssignment", int]:
+        """The quorum assignment (and its epoch) this operation runs under.
+
+        Resolved exactly once per operation, so both quorum phases use
+        the same configuration even if a reconfiguration lands between
+        them (it cannot — the simulation is single-threaded — but the
+        single resolution point is also what the ``stale-assignment``
+        audit mutation patches to model a front-end that missed a
+        reconfiguration and keeps using superseded quorums).
+        """
+        return obj.assignment, obj.epoch
+
     def _site_order(
         self, obj: ReplicatedObject | None = None
     ) -> tuple[int, ...]:
@@ -351,7 +376,7 @@ class FrontEnd:
         return frozenset(range(len(self.repositories)))
 
     def _read_quorum(
-        self, obj: ReplicatedObject, coterie: Coterie, op_name: str
+        self, obj: ReplicatedObject, coterie: Coterie, op_name: str, epoch: int = 0
     ) -> tuple[Log, object]:
         """Merge logs (and the best compaction snapshot) from an initial quorum.
 
@@ -360,14 +385,16 @@ class FrontEnd:
         them).  Dispatches on ``network.rpc_mode``: batched probes
         overlap their latencies through :meth:`Network.gather` and feed
         the incremental view-merge cache; serial is the one-RPC-at-a-
-        time reference walk.
+        time reference walk.  ``epoch`` is the configuration epoch the
+        caller resolved the coterie under; it is stamped onto the traced
+        quorum span for the auditor's ``reconfig-epoch`` monitor.
         """
         if self.network.rpc_mode == "batched":
-            return self._read_quorum_batched(obj, coterie, op_name)
-        return self._read_quorum_serial(obj, coterie, op_name)
+            return self._read_quorum_batched(obj, coterie, op_name, epoch)
+        return self._read_quorum_serial(obj, coterie, op_name, epoch)
 
     def _read_quorum_batched(
-        self, obj: ReplicatedObject, coterie: Coterie, op_name: str
+        self, obj: ReplicatedObject, coterie: Coterie, op_name: str, epoch: int
     ) -> tuple[Log, object]:
         if not self.tracer.enabled:
             # Untraced hot path: no span kwargs, no eager annotate
@@ -380,6 +407,7 @@ class FrontEnd:
             phase="initial",
             op=op_name,
             object=obj.name,
+            epoch=epoch,
         ) as span:
             return self._read_quorum_batched_impl(obj, coterie, op_name, span)
 
@@ -416,7 +444,7 @@ class FrontEnd:
         return merged, best
 
     def _read_quorum_serial(
-        self, obj: ReplicatedObject, coterie: Coterie, op_name: str
+        self, obj: ReplicatedObject, coterie: Coterie, op_name: str, epoch: int = 0
     ) -> tuple[Log, object]:
         with self.tracer.span(
             "quorum.initial",
@@ -425,6 +453,7 @@ class FrontEnd:
             phase="initial",
             op=op_name,
             object=obj.name,
+            epoch=epoch,
         ) as span:
             responders: set[int] = set()
             merged = Log()
@@ -462,15 +491,17 @@ class FrontEnd:
             raise UnavailableError(op_name, missing)
 
     def _write_quorum(
-        self, obj: ReplicatedObject, coterie: Coterie, update: Log, event
+        self, obj: ReplicatedObject, coterie: Coterie, update: Log, event,
+        epoch: int = 0,
     ) -> None:
         """Write the updated view until a final quorum acknowledges."""
         if self.network.rpc_mode == "batched":
-            return self._write_quorum_batched(obj, coterie, update, event)
-        return self._write_quorum_serial(obj, coterie, update, event)
+            return self._write_quorum_batched(obj, coterie, update, event, epoch)
+        return self._write_quorum_serial(obj, coterie, update, event, epoch)
 
     def _write_quorum_batched(
-        self, obj: ReplicatedObject, coterie: Coterie, update: Log, event
+        self, obj: ReplicatedObject, coterie: Coterie, update: Log, event,
+        epoch: int,
     ) -> None:
         if not self.tracer.enabled:
             return self._write_quorum_batched_impl(obj, coterie, update, event, None)
@@ -482,6 +513,7 @@ class FrontEnd:
             op=event.inv.op,
             object=obj.name,
             res_kind=event.res.kind,
+            epoch=epoch,
         ) as span:
             return self._write_quorum_batched_impl(obj, coterie, update, event, span)
 
@@ -524,7 +556,8 @@ class FrontEnd:
             span.annotate(quorum=sorted(acks))
 
     def _write_quorum_serial(
-        self, obj: ReplicatedObject, coterie: Coterie, update: Log, event
+        self, obj: ReplicatedObject, coterie: Coterie, update: Log, event,
+        epoch: int = 0,
     ) -> None:
         op_name = event.inv.op
         with self.tracer.span(
@@ -535,6 +568,7 @@ class FrontEnd:
             op=op_name,
             object=obj.name,
             res_kind=event.res.kind,
+            epoch=epoch,
         ) as span:
             acks: set[int] = set()
             if coterie.has_quorum(frozenset()):

@@ -187,6 +187,12 @@ class ReplicatedObject:
         self.name = name
         self.datatype = datatype
         self.assignment = assignment
+        #: Configuration epoch, bumped by every successful online
+        #: reconfiguration (see :mod:`repro.replication.reconfig`).
+        #: Front-ends stamp the epoch they operated under onto their
+        #: quorum spans, which is how the auditor's ``reconfig-epoch``
+        #: monitor proves no one kept using a superseded assignment.
+        self.epoch = 0
         self.cc = cc
         self.oracle = oracle or cc.oracle
         self.sync = SynchronizationState()

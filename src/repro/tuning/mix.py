@@ -1,0 +1,140 @@
+"""Windowed per-object read/write-mix observation.
+
+The tuner's input side: a :class:`MixObserver` hangs off every
+front-end's ``op_observer`` hook and maintains, per object, a windowed
+count of operations by name plus cumulative read/write totals.  The
+window uses the streaming audit pipeline's two-bucket rotation (PR 7):
+a *current* bucket fills until it holds ``window`` operations, then
+becomes the *previous* bucket and a fresh one starts — so the reported
+mix always reflects between ``window`` and ``2 × window`` recent
+operations, with O(operations per object) state and no per-op
+allocation beyond a dict increment.
+
+Classification into reads and writes comes from the same
+:func:`~repro.resilience.policy.read_only_operations` analysis the
+degraded-read fallback trusts: an operation is a *read* when every one
+of its events is state-preserving (legal to drop from any history), a
+*write* otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.replication.frontend import FrontEnd
+
+
+class MixObserver:
+    """Streaming per-object operation-mix counters.
+
+    Args:
+        read_ops: object name → the operation names classified read-only
+            (from :func:`~repro.resilience.policy.read_only_operations`
+            on the object's datatype).  Objects not in the mapping are
+            still counted; all their operations score as writes.
+        window: bucket size of the two-bucket rotation; the windowed
+            mix spans the last ``window``–``2 × window`` operations.
+        registry: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when given, every observation bumps the cumulative
+            ``mix.reads`` / ``mix.writes`` counters.
+    """
+
+    def __init__(
+        self,
+        read_ops: Mapping[str, frozenset[str]],
+        *,
+        window: int = 192,
+        registry: "MetricsRegistry | None" = None,
+    ):
+        if window <= 0:
+            raise ValueError("mix window must be positive")
+        self.window = window
+        self._read_ops = dict(read_ops)
+        self._current: dict[str, dict[str, int]] = {}
+        self._previous: dict[str, dict[str, int]] = {}
+        self._current_total: dict[str, int] = {}
+        self._reads: dict[str, int] = {}
+        self._writes: dict[str, int] = {}
+        self._registry = registry
+
+    # -- feeding -----------------------------------------------------------
+
+    def attach(self, frontends: "Iterable[FrontEnd]") -> None:
+        """Install :meth:`observe` as each front-end's ``op_observer``."""
+        for frontend in frontends:
+            frontend.op_observer = self.observe
+
+    def observe(self, object_name: str, op_name: str) -> None:
+        """Count one executed operation (the ``op_observer`` callable)."""
+        bucket = self._current.get(object_name)
+        if bucket is None:
+            bucket = self._current[object_name] = {}
+            self._current_total[object_name] = 0
+        bucket[op_name] = bucket.get(op_name, 0) + 1
+        total = self._current_total[object_name] + 1
+        if op_name in self._read_ops.get(object_name, ()):
+            self._reads[object_name] = self._reads.get(object_name, 0) + 1
+            if self._registry is not None:
+                self._registry.counter("mix.reads").inc()
+        else:
+            self._writes[object_name] = self._writes.get(object_name, 0) + 1
+            if self._registry is not None:
+                self._registry.counter("mix.writes").inc()
+        if total >= self.window:
+            self._previous[object_name] = bucket
+            self._current[object_name] = {}
+            self._current_total[object_name] = 0
+        else:
+            self._current_total[object_name] = total
+
+    # -- reading -----------------------------------------------------------
+
+    def object_names(self) -> tuple[str, ...]:
+        """Every object observed so far, sorted."""
+        names = set(self._current) | set(self._previous)
+        return tuple(sorted(names))
+
+    def samples(self, object_name: str) -> int:
+        """Operations currently inside the window (both buckets)."""
+        return self._current_total.get(object_name, 0) + sum(
+            self._previous.get(object_name, {}).values()
+        )
+
+    def weights(self, object_name: str) -> dict[str, float]:
+        """The windowed mix as per-operation fractions summing to 1.
+
+        Empty when the object has no windowed samples yet.
+        """
+        counts: dict[str, int] = dict(self._previous.get(object_name, {}))
+        for op, count in self._current.get(object_name, {}).items():
+            counts[op] = counts.get(op, 0) + count
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {op: count / total for op, count in sorted(counts.items())}
+
+    def counts(self, object_name: str) -> tuple[int, int]:
+        """Cumulative ``(reads, writes)`` since attachment."""
+        return (
+            self._reads.get(object_name, 0),
+            self._writes.get(object_name, 0),
+        )
+
+    def read_fraction(self, object_name: str) -> float | None:
+        """Cumulative read fraction, or ``None`` before any operation."""
+        reads, writes = self.counts(object_name)
+        total = reads + writes
+        if total == 0:
+            return None
+        return reads / total
+
+    def state_cells(self) -> int:
+        """Bounded-memory accounting hook (PR-7 convention): the number
+        of live counter cells across both buckets and the totals."""
+        cells = 0
+        for buckets in (self._current, self._previous):
+            for counts in buckets.values():
+                cells += len(counts)
+        return cells + len(self._reads) + len(self._writes)

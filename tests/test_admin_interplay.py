@@ -94,11 +94,13 @@ class TestAdminInterplay:
         )
         generator.run(15)
         compact(cluster.network, cluster.repositories, obj, cluster.tm)
+        # A genuinely different layout (not the majority default, which
+        # would be a structural no-op and skip the hand-over entirely).
         reconfigure(
             cluster.network,
             cluster.repositories,
             obj,
-            _threshold_assignment(5, init=3, final=3),
+            _threshold_assignment(5, init=4, final=2),
         )
         generator.run(15)
         compact(cluster.network, cluster.repositories, obj, cluster.tm)
@@ -122,11 +124,13 @@ class TestReconfigurePropagatesSnapshots:
         compact(cluster.network, cluster.repositories, obj, cluster.tm)
         assert cluster.repositories[4].read_snapshot("obj") is None
         cluster.network.recover(4)
+        # A genuinely different layout (not the majority default, which
+        # would be a structural no-op and never prime anything).
         reconfigure(
             cluster.network,
             cluster.repositories,
             obj,
-            _threshold_assignment(5, init=3, final=3),
+            _threshold_assignment(5, init=4, final=2),
             coordinator_site=4,
         )
         assert cluster.repositories[4].read_snapshot("obj") is not None

@@ -35,6 +35,7 @@ pytestmark = pytest.mark.obs
 
 INVARIANTS = (
     "quorum-intersection",
+    "reconfig-epoch",
     "lock-discipline",
     "timestamp-order",
     "log-consistency",

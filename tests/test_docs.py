@@ -21,7 +21,7 @@ ROOT = Path(__file__).resolve().parent.parent
 DOCS = ROOT / "docs"
 
 #: Guides whose ``python`` blocks must execute verbatim.
-SNIPPET_DOCS = ("KEYSPACE.md", "RESILIENCE.md", "TUTORIAL.md")
+SNIPPET_DOCS = ("KEYSPACE.md", "RESILIENCE.md", "TUNING.md", "TUTORIAL.md")
 
 #: Documents whose links and path references are checked.
 LINKED_DOCS = tuple(sorted(DOCS.glob("*.md"))) + (ROOT / "README.md",)

@@ -5,12 +5,21 @@ import pytest
 from repro.atomicity.properties import HybridAtomicity
 from repro.errors import QuorumError, UnavailableError
 from repro.histories.events import Invocation, ok
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.quorum.assignment import OperationQuorums, QuorumAssignment
-from repro.quorum.coterie import EmptyCoterie, ExplicitCoterie, ThresholdCoterie
+from repro.quorum.coterie import (
+    EmptyCoterie,
+    ExplicitCoterie,
+    SubsetThresholdCoterie,
+    ThresholdCoterie,
+)
 from repro.replication.reconfig import (
+    greedy_transversal,
     is_transversal,
     needs_coverage,
     reconfigure,
+    same_assignment,
     transversal_size,
 )
 from repro.spec.legality import LegalityOracle
@@ -127,17 +136,169 @@ class TestReconfigure:
         txn = cluster.tm.begin(0)
         fe.execute(txn, "obj", ENQ_A)
         cluster.tm.commit(txn)
-        cluster.network.partition({0, 1}, {2, 3, 4})
-        balanced = _threshold_assignment(5, init=3, final=3)
-        # Coordinator in the majority side can drain majorities (3 live)
-        # and prime 3-site initial quorums.
+        cluster.network.partition({0}, {1, 2, 3, 4})
+        # Not the majority default (that would be a structural no-op):
+        # read-4/write-2 drains old 3-site finals and primes 4-site
+        # initials (transversal 2) inside the four-site majority, and
+        # the subsequent Deq finds both quorums there too.
+        lopsided = _threshold_assignment(5, init=4, final=2)
         reconfigure(
             cluster.network,
             cluster.repositories,
             obj,
-            balanced,
-            coordinator_site=2,
+            lopsided,
+            coordinator_site=1,
         )
         reader = cluster.tm.begin(3)
         assert cluster.frontends[3].execute(reader, "obj", DEQ) == ok("a")
         cluster.tm.commit(reader)
+
+
+def _repo_state(cluster, name="obj"):
+    """Byte-comparable durable state across all repositories."""
+    return tuple(
+        (
+            site,
+            repo.peek_log(name).entry_set,
+            repo.read_snapshot(name),
+            repo.log_version(name),
+        )
+        for site, repo in enumerate(cluster.repositories)
+    )
+
+
+class TestGreedyTransversal:
+    def test_threshold_closed_form(self):
+        assert greedy_transversal(ThresholdCoterie(5, 3)) == frozenset({0, 1, 2})
+        assert greedy_transversal(ThresholdCoterie(5, 5)) == frozenset({0})
+
+    def test_threshold_respects_available(self):
+        hit = greedy_transversal(
+            ThresholdCoterie(5, 3), available=frozenset({1, 3, 4})
+        )
+        assert hit == frozenset({1, 3, 4})
+        assert greedy_transversal(
+            ThresholdCoterie(5, 3), available=frozenset({0, 1})
+        ) is None
+
+    def test_subset_threshold(self):
+        coterie = SubsetThresholdCoterie(6, frozenset({1, 3, 5}), 2)
+        hit = greedy_transversal(coterie)
+        assert hit is not None and is_transversal(coterie, hit)
+        assert len(hit) == 2  # |members| - k + 1
+        # Sites outside the member set never help.
+        assert greedy_transversal(coterie, available=frozenset({0, 2, 4})) is None
+
+    def test_explicit_greedy_hits_every_quorum(self):
+        coterie = ExplicitCoterie(6, [{0, 1}, {1, 2}, {3, 4}, {4, 5}])
+        hit = greedy_transversal(coterie)
+        assert hit is not None and is_transversal(coterie, hit)
+        # Sites 1 and 4 each cover two quorums; greedy finds the optimum.
+        assert hit == frozenset({1, 4})
+
+    def test_explicit_greedy_with_unavailable_sites(self):
+        coterie = ExplicitCoterie(6, [{0, 1}, {1, 2}, {3, 4}, {4, 5}])
+        hit = greedy_transversal(coterie, available=frozenset({0, 2, 3, 5}))
+        assert hit is not None and is_transversal(coterie, hit)
+        assert hit <= {0, 2, 3, 5}
+
+    def test_explicit_no_transversal_available(self):
+        coterie = ExplicitCoterie(4, [{0, 1}, {2, 3}])
+        assert greedy_transversal(coterie, available=frozenset({0, 1})) is None
+        # No quorums to hit: the empty set is vacuously a transversal.
+        assert greedy_transversal(ExplicitCoterie(3, [])) == frozenset()
+
+    def test_empty_coterie_has_none(self):
+        assert greedy_transversal(EmptyCoterie(4)) is None
+
+
+class TestReconfigureEdgeCases:
+    def test_no_transversal_leaves_state_byte_identical(self):
+        cluster, obj = queue_system("hybrid", n_sites=5)
+        fe = cluster.frontends[0]
+        txn = cluster.tm.begin(0)
+        fe.execute(txn, "obj", ENQ_A)
+        cluster.tm.commit(txn)
+
+        for site in (2, 3, 4):
+            cluster.network.crash(site)
+        before = _repo_state(cluster)
+        old_assignment = obj.assignment
+        old_epoch = obj.epoch
+        registry = MetricsRegistry()
+
+        with pytest.raises(UnavailableError):
+            reconfigure(
+                cluster.network,
+                cluster.repositories,
+                obj,
+                _threshold_assignment(5, init=5, final=1),
+                registry=registry,
+            )
+
+        # The failed hand-over wrote nothing and switched nothing.
+        assert _repo_state(cluster) == before
+        assert obj.assignment is old_assignment
+        assert obj.epoch == old_epoch
+        assert registry.counter("reconfig.attempts").value == 1
+        assert registry.counter("reconfig.aborted").value == 1
+        assert "reconfig.success" not in registry.counters
+
+    def test_identical_assignment_is_a_noop(self):
+        cluster, obj = queue_system("hybrid", n_sites=5)
+        fe = cluster.frontends[0]
+        txn = cluster.tm.begin(0)
+        fe.execute(txn, "obj", ENQ_A)
+        cluster.tm.commit(txn)
+
+        before = _repo_state(cluster)
+        sent_before = cluster.network.messages_sent
+        registry = MetricsRegistry()
+        # A structurally identical majority layout, rebuilt from scratch.
+        twin = _threshold_assignment(5, init=3, final=3)
+        assert same_assignment(obj.assignment, twin)
+
+        changed = reconfigure(
+            cluster.network, cluster.repositories, obj, twin, registry=registry
+        )
+
+        assert changed is False
+        assert obj.epoch == 0
+        assert cluster.network.messages_sent == sent_before  # zero RPCs
+        assert _repo_state(cluster) == before
+        assert registry.counter("reconfig.noop").value == 1
+
+    def test_genuine_switch_bumps_epoch_and_invalidates_caches(self):
+        cluster, obj = queue_system("hybrid", n_sites=5)
+        fe = cluster.frontends[0]
+        txn = cluster.tm.begin(0)
+        fe.execute(txn, "obj", ENQ_A)
+        cluster.tm.commit(txn)
+        # Warm the front-end view caches.
+        reader = cluster.tm.begin(1)
+        assert cluster.frontends[1].execute(reader, "obj", DEQ) == ok("a")
+        cluster.tm.abort(reader)
+
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        changed = reconfigure(
+            cluster.network,
+            cluster.repositories,
+            obj,
+            _threshold_assignment(5, init=4, final=2),
+            frontends=cluster.frontends,
+            tracer=tracer,
+            registry=registry,
+        )
+
+        assert changed is True
+        assert obj.epoch == 1
+        assert registry.counter("reconfig.success").value == 1
+        names = [span.name for span in tracer.spans]
+        assert "reconfig" in names
+        assert "reconfig.drain" in names
+        assert "reconfig.prime" in names
+        switch = next(s for s in tracer.spans if s.name == "reconfig.switch")
+        assert switch.attrs["epoch"] == 1
+        # Every front-end dropped its merged-view entry for the object.
+        assert all("obj" not in fe.view_cache._entries for fe in cluster.frontends)
