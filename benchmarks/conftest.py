@@ -47,6 +47,23 @@ _PARALLELISM = {"pool_engaged": False, "parallel_speedup": 1.0}
 #: reconfiguration — regression comparisons never conflate the two.
 _TUNER = {"enabled": False}
 
+#: Which workload scenario (``repro.scenarios`` catalog name) drove the
+#: current benchmark.  Scenario-aware benchmarks call
+#: :func:`record_scenario` before emitting; the honest default is
+#: ``"default"`` — the legacy closed-loop uniform workload every
+#: pre-catalog artifact implicitly ran.
+_SCENARIO = {"name": "default"}
+
+
+def record_scenario(name: str) -> None:
+    """Record the catalog scenario the current benchmark runs.
+
+    Stamped as ``scenario: <name>`` into the next :func:`emit_json`
+    environment block, so artifacts from different traffic shapes are
+    never compared as if they measured the same workload.
+    """
+    _SCENARIO["name"] = str(name)
+
 
 def record_tuner(enabled: bool) -> None:
     """Record whether the adaptive quorum tuner drove this benchmark.
@@ -128,6 +145,7 @@ def emit_json(
         "pool_engaged": _PARALLELISM["pool_engaged"],
         "parallel_speedup": round(_PARALLELISM["parallel_speedup"], 4),
         "tuner": "on" if _TUNER["enabled"] else "off",
+        "scenario": _SCENARIO["name"],
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / f"BENCH_{name}.json"
@@ -155,11 +173,12 @@ def pytest_addoption(parser: pytest.Parser) -> None:
 
 @pytest.fixture(autouse=True)
 def _reset_parallelism():
-    """Reset the pool and tuner records so benchmarks never inherit a
-    predecessor's."""
+    """Reset the pool, tuner, and scenario records so benchmarks never
+    inherit a predecessor's."""
     _PARALLELISM["pool_engaged"] = False
     _PARALLELISM["parallel_speedup"] = 1.0
     _TUNER["enabled"] = False
+    _SCENARIO["name"] = "default"
     yield
 
 

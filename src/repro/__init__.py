@@ -19,7 +19,9 @@ Typical entry points:
 * resilience (retry policies, crash recovery, chaos sweeps):
   :mod:`repro.resilience`;
 * adaptive quorum tuning (mix observation, online reconfiguration):
-  :mod:`repro.tuning`.
+  :mod:`repro.tuning`;
+* declarative workload scenarios (catalog, samplers, audited runner):
+  :mod:`repro.scenarios` and ``docs/SCENARIOS.md``.
 
 The running system's principals — :class:`Simulator`, :class:`Network`,
 :class:`Repository`, :class:`FrontEnd`, :class:`TransactionManager` —
@@ -77,6 +79,18 @@ from repro.replication.viewcache import QuorumViewCache
 from repro.sim.kernel import Simulator
 from repro.sim.metrics import MetricRecorder
 from repro.sim.network import GatherResult, Network, ProbeReply
+from repro.scenarios import (
+    MECHANISMS,
+    SCENARIOS,
+    ArrivalSpec,
+    MixSpec,
+    MixWorkload,
+    ScenarioSpec,
+    ScenarioWorkload,
+    SkewSpec,
+    build_scenario,
+    run_scenario,
+)
 from repro.sim.trials import run_trials
 from repro.tuning import MixObserver, QuorumTuner, TunerConfig
 from repro.txn.manager import TransactionManager
@@ -135,6 +149,16 @@ __all__ = [
     "MixObserver",
     "QuorumTuner",
     "TunerConfig",
+    "ArrivalSpec",
+    "MECHANISMS",
+    "MixSpec",
+    "MixWorkload",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "ScenarioWorkload",
+    "SkewSpec",
+    "build_scenario",
+    "run_scenario",
     "__version__",
 ]
 

@@ -23,6 +23,10 @@ Subcommands:
   ring span retention, the streaming auditor, and periodic log
   compaction + transaction retirement; exits non-zero unless retained
   spans stayed within the window and the audit was clean.
+* ``scenario`` — run a catalog scenario (``docs/SCENARIOS.md``) under a
+  chosen atomicity mechanism and optional chaos profile, streaming-
+  audited; ``--list`` prints the catalog.  Exits non-zero on audit
+  violations, divergent replicas, or unaccounted work.
 * ``cache``   — administer the persistent kernel-artifact cache:
   ``stats`` (traffic + disk usage), ``warm`` (pre-derive the standard
   catalog, optionally in parallel), ``clear``.
@@ -753,6 +757,81 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _scenario_table(verdict: dict) -> str:
+    """Fixed-width rendering of one scenario verdict."""
+    counts = verdict["counts"]
+    fp = verdict["fingerprint"]
+    lines = [
+        f"scenario {verdict['scenario']} × {verdict['mechanism']} "
+        f"(scheme {verdict['scheme']}) × profile {verdict['profile']} "
+        f"(seed {verdict['seed']}, {verdict['n_sites']} sites, "
+        f"{verdict['transactions']} txns, rpc {verdict['rpc_mode']})",
+        f"  attempted {counts['attempted']}  ok {counts['succeeded']}  "
+        f"degraded {counts['degraded']}  unavailable {counts['unavailable']}  "
+        f"conflict {counts['conflict']}  aborted {counts['aborted_ops']}",
+        f"  commits {fp['commits']}  aborts {fp['aborts']}  "
+        f"messages {fp['messages_sent']}  faults {fp['faults_applied']}",
+        f"  audit: {'clean' if fp['audit_ok'] else 'VIOLATIONS'} "
+        f"({verdict['violations']})  converged: {fp['converged']}  "
+        f"accounted: {counts['accounted']}",
+        "verdict: " + ("PASS" if verdict["ok"] else "FAIL"),
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import SCENARIOS, run_scenario
+
+    if args.list:
+        width = max(len(name) for name in SCENARIOS)
+        lines = ["scenario catalog (docs/SCENARIOS.md):"]
+        for name, spec in sorted(SCENARIOS.items()):
+            lines.append(f"  {name:<{width}}  {spec.description}")
+        _emit("\n".join(lines), args.output)
+        return 0
+    if args.name is None:
+        raise SystemExit(
+            "python -m repro scenario: name a scenario or pass --list"
+        )
+    verdict = run_scenario(
+        args.name,
+        seed=args.seed,
+        mechanism=args.mechanism,
+        profile=args.profile,
+        policy=args.policy,
+        rpc_mode=args.rpc_mode,
+        n_sites=args.sites,
+        transactions=args.transactions,
+        streaming=not args.deep_audit,
+        window=args.window,
+    )
+    if args.format == "json":
+        _emit(json.dumps(verdict, indent=2, sort_keys=True), args.output)
+    else:
+        _emit(_scenario_table(verdict), args.output)
+    if args.artifacts is not None:
+        from repro.obs.runreport import make_plan, make_report
+
+        _write_artifacts(
+            args,
+            make_plan(
+                "scenario",
+                workload={
+                    "scenario": args.name,
+                    "seed": args.seed,
+                    "sites": verdict["n_sites"],
+                    "transactions": verdict["transactions"],
+                },
+                mechanism=args.mechanism,
+                profile=args.profile,
+                policy=verdict["policy"],
+                rpc_mode=args.rpc_mode,
+            ),
+            make_report("scenario", ok=bool(verdict["ok"]), verdict=verdict),
+        )
+    return 0 if verdict["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -1098,6 +1177,101 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _artifacts_argument(soak)
     soak.set_defaults(func=_cmd_soak)
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="run one audited catalog scenario under a chosen mechanism",
+    )
+    scenario.add_argument(
+        "name",
+        nargs="?",
+        # Kept literal so parser construction stays import-light; guarded
+        # against drift from repro.scenarios.SCENARIOS by test_cli.
+        choices=(
+            "bursty-flash-crowd",
+            "default",
+            "hot-key-contention",
+            "long-transaction",
+            "read-dominant",
+            "write-heavy",
+        ),
+        default=None,
+        help="catalog scenario to run (see --list and docs/SCENARIOS.md)",
+    )
+    scenario.add_argument(
+        "--list",
+        action="store_true",
+        help="print the scenario catalog and exit",
+    )
+    scenario.add_argument(
+        "--mechanism",
+        # Kept literal; guarded against repro.scenarios.MECHANISMS drift
+        # by test_cli.
+        choices=("blocking", "hybrid", "multiversion"),
+        default="hybrid",
+        help="atomicity mechanism to run the scenario under "
+        "(default: hybrid)",
+    )
+    scenario.add_argument(
+        "--profile",
+        # Kept literal; guarded against repro.resilience.chaos.PROFILES
+        # drift by test_cli ('none' means fault-free).
+        choices=("none", "crash", "partition", "churn", "mixed"),
+        default="none",
+        help="chaos profile to cross the scenario with (default: none)",
+    )
+    scenario.add_argument(
+        "--policy",
+        default=None,
+        metavar="NAME",
+        help="retry policy (default: 'default' under chaos, none "
+        "otherwise)",
+    )
+    scenario.add_argument("--seed", type=int, default=0, help="simulation seed")
+    scenario.add_argument(
+        "--sites",
+        type=int,
+        default=None,
+        metavar="N",
+        help="repository sites (default: the scenario's natural size)",
+    )
+    scenario.add_argument(
+        "--transactions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="transactions to run (default: the scenario's own count)",
+    )
+    scenario.add_argument(
+        "--rpc-mode",
+        choices=("batched", "serial"),
+        default="batched",
+        help="front-end quorum assembly mode (default: batched)",
+    )
+    scenario.add_argument(
+        "--deep-audit",
+        action="store_true",
+        help="audit with full-history capture instead of the "
+        "bounded-memory streaming monitors",
+    )
+    scenario.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="W",
+        help="ring/streaming window when streaming (default: 256)",
+    )
+    scenario.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="verdict rendering (default: table)",
+    )
+    scenario.add_argument(
+        "--output", "-o", default=None, help="write to a file instead of stdout"
+    )
+    _artifacts_argument(scenario)
+    scenario.set_defaults(func=_cmd_scenario)
 
     return parser
 

@@ -1,0 +1,411 @@
+"""Compile scenario specs onto the workload engine and run them audited.
+
+Three layers, mirroring the chaos runner's discipline:
+
+* :func:`scenario_keyspace` — the keyspace a scenario runs over:
+  ``objects`` mixed-type objects (queue/register/counter) all under
+  **one** concurrency-control scheme, so the same traffic shape can be
+  replayed under each of the paper's three atomicity mechanisms
+  (:data:`MECHANISMS` maps the paper-facing mechanism names onto the
+  cluster's scheme names);
+* :func:`build_scenario` — spec → ``(cluster, generator)``: the
+  operation mix is compiled per object from the scenario's read/write
+  balance and zipf hot-key ranking, arrivals from its arrival process,
+  and both ride the :class:`~repro.sim.workload.WorkloadGenerator`'s
+  ``workload``/``arrivals`` hooks.  The ``default`` scenario compiles
+  to *exactly* the legacy workload — same cluster build, same RNG draw
+  sequence — which ``tests/test_scenarios.py`` pins byte-for-byte;
+* :func:`run_scenario` — one audited run, optionally under a chaos
+  profile, returning a plain picklable verdict whose ``fingerprint``
+  sub-dict is mode-independent (identical across rpc modes and job
+  counts) while simulated-clock figures live under ``timing``.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.chaos import PROFILES, ChaosSchedule, generate_schedule
+from repro.resilience.policy import POLICIES, read_only_operations
+from repro.scenarios.catalog import SCENARIOS
+from repro.scenarios.sampler import (
+    bursty_arrivals,
+    hot_key_ranks,
+    poisson_arrivals,
+    zipf_weights,
+)
+from repro.scenarios.spec import ArrivalSpec, MixWorkload, ScenarioSpec
+
+__all__ = [
+    "MECHANISMS",
+    "build_scenario",
+    "compile_arrivals",
+    "compile_mix",
+    "run_scenario",
+    "scenario_keyspace",
+    "scenario_trial",
+]
+
+#: Paper-facing mechanism name → cluster concurrency-control scheme.
+#: ``blocking`` is the paper's dynamic atomicity (two-phase locking,
+#: transactions block), ``multiversion`` its static atomicity
+#: (timestamp-ordered versions), ``hybrid`` the headline mechanism.
+MECHANISMS: dict[str, str] = {
+    "blocking": "dynamic",
+    "multiversion": "static",
+    "hybrid": "hybrid",
+}
+
+
+def _scheme_for(mechanism: str) -> str:
+    try:
+        return MECHANISMS[mechanism]
+    except KeyError:
+        raise ValueError(
+            f"unknown mechanism {mechanism!r} (choose from "
+            f"{', '.join(sorted(MECHANISMS))})"
+        ) from None
+
+
+def _hybrid_relation(datatype):
+    """A valid hybrid dependency relation for any catalog data type.
+
+    The queue gets the paper's minimal grounded relation; other types
+    fall back to the total relation, which is atomic for every data
+    type (every dependency kept means every serialization order the
+    scheme admits is a dependency order).
+    """
+    from repro.dependency import known
+    from repro.dependency.relation import DependencyRelation
+    from repro.types import Queue
+
+    if isinstance(datatype, Queue):
+        return known.ground(datatype, known.QUEUE_STATIC, 5)
+    return DependencyRelation.total(
+        datatype.invocations(), known.event_alphabet(datatype, 5)
+    )
+
+
+def scenario_keyspace(n_objects: int, n_sites: int, scheme: str):
+    """A mixed-type keyspace with every object under one scheme.
+
+    Like :func:`~repro.replication.keyspace.demo_keyspace` the objects
+    cycle queue/register/counter (full replication), but the scheme is
+    uniform — the scenario matrix varies the *mechanism* axis across
+    runs, not within a keyspace.  Deterministic: same arguments, same
+    spec.
+    """
+    from repro.replication.keyspace import KeyspaceSpec, ObjectSpec, PlacementRule
+    from repro.types import Counter, Queue, Register
+
+    prototypes = (("queue", Queue()), ("register", Register()), ("counter", Counter()))
+    specs = []
+    for index in range(n_objects):
+        kind, datatype = prototypes[index % 3]
+        specs.append(
+            ObjectSpec(
+                f"{kind}-{index}",
+                datatype,
+                scheme=scheme,
+                placement=PlacementRule.all(),
+                relation=_hybrid_relation(datatype) if scheme == "hybrid" else None,
+            )
+        )
+    return KeyspaceSpec(n_sites, tuple(specs))
+
+
+def compile_mix(object_specs, scenario: ScenarioSpec, seed: int):
+    """Compile the scenario's weighted mix over a keyspace's objects.
+
+    Per invocation: ``zipf(object rank) × read-or-write weight × named
+    multiplier``.  Object ranks come from the seeded hot-key shuffle;
+    invocations keep catalog order (spec order, then
+    ``datatype.invocations()`` order), so the all-ones default compiles
+    to the legacy uniform mix *tuple-for-tuple*.
+    """
+    from repro.sim.workload import OperationMix
+
+    names = [obj.name for obj in object_specs]
+    ranks = hot_key_ranks(names, seed)
+    weights = zipf_weights(len(names), scenario.skew.s)
+    choices = []
+    for obj in object_specs:
+        object_weight = weights[ranks[obj.name]]
+        read_only = read_only_operations(obj.datatype)
+        for invocation in obj.datatype.invocations():
+            factor = scenario.mix.multiplier(
+                invocation.op, invocation.op in read_only
+            )
+            choices.append(((obj.name, invocation), object_weight * factor))
+    return OperationMix(tuple(choices))
+
+
+def compile_arrivals(
+    scenario: ScenarioSpec, transactions: int, seed: int
+) -> tuple[float, ...] | None:
+    """The scenario's arrival schedule (``None`` for the closed loop)."""
+    arrival: ArrivalSpec = scenario.arrival
+    if arrival.kind == "closed":
+        return None
+    if arrival.kind == "poisson":
+        return poisson_arrivals(arrival.rate, transactions, seed)
+    return bursty_arrivals(
+        arrival.rate,
+        arrival.burst_rate,
+        arrival.burst_length,
+        arrival.cycle,
+        transactions,
+        seed,
+    )
+
+
+def build_scenario(
+    scenario: ScenarioSpec | str,
+    *,
+    seed: int = 0,
+    mechanism: str = "hybrid",
+    n_sites: int | None = None,
+    rpc_mode: str = "batched",
+    transactions: int | None = None,
+    tracer=None,
+    workload=None,
+):
+    """Spec → ``(cluster, generator, names)``, ready to run.
+
+    A single-object scenario builds the classic cluster
+    (:func:`~repro.replication.cluster.build_cluster` + one ``"queue"``
+    object, 3 sites by default); multi-object scenarios build the
+    :func:`scenario_keyspace` (5 sites by default).  ``workload``
+    overrides the compiled :class:`~repro.scenarios.spec.MixWorkload`
+    with a user-supplied :class:`~repro.scenarios.spec.ScenarioWorkload`
+    (its ``init`` is called here, before any transaction runs).
+    """
+    from repro.replication.cluster import build_cluster, build_keyspace
+    from repro.sim.workload import WorkloadGenerator
+
+    if isinstance(scenario, str):
+        from repro.scenarios.catalog import scenario as lookup
+
+        scenario = lookup(scenario)
+    scheme = _scheme_for(mechanism)
+    total = transactions if transactions is not None else scenario.transactions
+    if scenario.objects == 1:
+        sites = n_sites if n_sites is not None else 3
+        cluster = build_cluster(
+            sites, seed=seed, rpc_mode=rpc_mode, drop_probability=0.0, tracer=tracer
+        )
+        from repro.replication.keyspace import ObjectSpec
+        from repro.types import Queue
+
+        queue = Queue()
+        cluster.add_object(
+            "queue",
+            queue,
+            scheme,
+            relation=_hybrid_relation(queue) if scheme == "hybrid" else None,
+        )
+        object_specs = (ObjectSpec("queue", queue, scheme=scheme),)
+    else:
+        sites = n_sites if n_sites is not None else 5
+        spec = scenario_keyspace(scenario.objects, sites, scheme)
+        cluster = build_keyspace(
+            spec, seed=seed, rpc_mode=rpc_mode, drop_probability=0.0, tracer=tracer
+        )
+        object_specs = spec.objects
+    names = tuple(obj.name for obj in object_specs)
+    mix = compile_mix(object_specs, scenario, seed)
+    source = workload if workload is not None else MixWorkload(
+        mix, scenario.ops_per_transaction
+    )
+    source.init(cluster)
+    generator = WorkloadGenerator(
+        cluster.sim,
+        cluster.tm,
+        cluster.frontends,
+        mix,
+        ops_per_transaction=scenario.ops_per_transaction,
+        concurrency=scenario.concurrency,
+        think_time=scenario.think_time,
+        workload=source,
+        arrivals=compile_arrivals(scenario, total, seed),
+    )
+    return cluster, generator, names
+
+
+def run_scenario(
+    scenario: ScenarioSpec | str,
+    *,
+    seed: int = 0,
+    mechanism: str = "hybrid",
+    profile: str = "none",
+    policy: str | None = None,
+    rpc_mode: str = "batched",
+    n_sites: int | None = None,
+    transactions: int | None = None,
+    streaming: bool = True,
+    window: int | None = None,
+    workload=None,
+) -> dict:
+    """One audited scenario run; returns a plain (picklable) verdict.
+
+    ``profile`` is ``"none"`` (fault-free) or one of the chaos
+    :data:`~repro.resilience.chaos.PROFILES`; a chaos profile enables
+    the resilience layer under ``policy`` (default ``"default"``),
+    applies the boundary-indexed fault schedule, and after the run
+    clears outstanding faults, reconciles replicas with two
+    anti-entropy passes, and checks convergence — exactly the chaos
+    runner's cleanup discipline.  The auditor watches every run
+    (bounded-memory streaming monitors by default).  ``ok`` requires
+    zero audit violations, converged replicas, and full accounting.
+    """
+    from repro.obs.audit import DEFAULT_STREAM_WINDOW, Auditor
+    from repro.obs.trace import Tracer
+
+    if isinstance(scenario, str):
+        from repro.scenarios.catalog import scenario as lookup
+
+        scenario = lookup(scenario)
+    if profile != "none" and profile not in PROFILES:
+        raise ValueError(
+            f"unknown profile {profile!r} (use 'none' or one of {PROFILES})"
+        )
+    win = window if window is not None else DEFAULT_STREAM_WINDOW
+    tracer = Tracer(retention="ring", window=win) if streaming else Tracer()
+    total = transactions if transactions is not None else scenario.transactions
+    cluster, generator, names = build_scenario(
+        scenario,
+        seed=seed,
+        mechanism=mechanism,
+        n_sites=n_sites,
+        rpc_mode=rpc_mode,
+        transactions=total,
+        tracer=tracer,
+        workload=workload,
+    )
+    sites = cluster.network.n_sites
+    runtime = None
+    schedule = None
+    if profile != "none" or policy is not None:
+        policy_name = policy if policy is not None else "default"
+        if policy_name not in POLICIES:
+            raise ValueError(
+                f"unknown policy {policy_name!r} "
+                f"(choose from {', '.join(sorted(POLICIES))})"
+            )
+        runtime = cluster.enable_resilience(POLICIES[policy_name])
+    else:
+        policy_name = None
+    auditor = Auditor(
+        cluster, mode="streaming" if streaming else "deep", window=win
+    )
+    if profile != "none":
+        schedule = ChaosSchedule(generate_schedule(profile, seed, sites, total))
+        generator.on_transaction_start = schedule.hook(cluster.network)
+    metrics = generator.run(total)
+
+    converged = True
+    if profile != "none":
+        if cluster.network.partitioned:
+            cluster.network.heal()
+        for site in sorted(cluster.network.crashed_sites):
+            cluster.network.recover(site)
+        antientropy = runtime.heal.antientropy
+        sync_pairs = sorted(
+            {
+                (reps[0], rep)
+                for reps in map(cluster.placement.replicas, names)
+                for rep in reps[1:]
+            }
+        )
+        for _pass in range(2):
+            for first, second in sync_pairs:
+                antientropy.synchronize(first, second)
+        converged = all(
+            len(
+                {
+                    str(cluster.repositories[site].peek_log(name))
+                    for site in cluster.placement.replicas(name)
+                }
+            )
+            == 1
+            for name in names
+        )
+    report = auditor.finish()
+
+    active = [t for t in cluster.tm.transactions() if t.is_active]
+    attempted = sum(metrics.outcomes.values())
+    by_outcome = {
+        outcome: sum(
+            count for (_op, o), count in metrics.outcomes.items() if o == outcome
+        )
+        for outcome in metrics.OUTCOMES
+    }
+    accounted = (
+        not active
+        and attempted == sum(by_outcome.values())
+        and metrics.committed_transactions + metrics.aborted_transactions >= total
+    )
+    return {
+        "scenario": scenario.name,
+        "seed": seed,
+        "mechanism": mechanism,
+        "scheme": _scheme_for(mechanism),
+        "profile": profile,
+        "policy": policy_name,
+        "rpc_mode": rpc_mode,
+        "n_sites": sites,
+        "transactions": total,
+        "ok": bool(report.ok and converged and accounted),
+        "violations": len(report.violations),
+        "fingerprint": {
+            "outcomes": {
+                f"{op}/{outcome}": count
+                for (op, outcome), count in sorted(metrics.outcomes.items())
+            },
+            "histories": {
+                name: str(cluster.tm.object(name).recorder.to_behavioral_history())
+                for name in names
+            },
+            "messages_sent": cluster.network.messages_sent,
+            "messages_dropped": cluster.network.messages_dropped,
+            "commits": metrics.committed_transactions,
+            "aborts": metrics.aborted_transactions,
+            "converged": converged,
+            "audit_ok": report.ok,
+            "faults_applied": schedule.applied if schedule is not None else 0,
+        },
+        "counts": {
+            "attempted": attempted,
+            "succeeded": by_outcome["ok"],
+            "degraded": by_outcome["degraded"],
+            "unavailable": by_outcome["unavailable"],
+            "conflict": by_outcome["conflict"],
+            "aborted_ops": by_outcome["aborted"],
+            "accounted": accounted,
+        },
+        "timing": {
+            "sim_time": cluster.sim.now,
+            "retained_spans": report.retained_spans,
+            "peak_retained": report.peak_retained,
+        },
+    }
+
+
+def scenario_trial(
+    seed: int,
+    *,
+    scenario: str,
+    mechanism: str = "hybrid",
+    profile: str = "none",
+    policy: str | None = None,
+    rpc_mode: str = "batched",
+    transactions: int | None = None,
+) -> dict:
+    """Module-level trial wrapper so sweeps pickle under ``--jobs N``."""
+    return run_scenario(
+        scenario,
+        seed=seed,
+        mechanism=mechanism,
+        profile=profile,
+        policy=policy,
+        rpc_mode=rpc_mode,
+        transactions=transactions,
+    )

@@ -1,10 +1,43 @@
-"""Workload generation: concurrent transaction mixes over replicated objects.
+"""Workload driving: concurrent transaction streams over replicated objects.
 
-The driver maintains a pool of in-flight transactions, each with a
-scripted sequence of operations, and interleaves them one operation at a
-time (picking the next runnable transaction pseudo-randomly from the
-simulator's seeded RNG).  Outcomes feed the
-:class:`~repro.sim.metrics.MetricRecorder`:
+:class:`WorkloadGenerator` is the execution engine under every
+benchmark, chaos sweep, soak, and scenario in the repository.  It is
+*not* tied to one traffic shape: the engine interleaves in-flight
+transactions one operation at a time (picking the next runnable
+transaction pseudo-randomly from the simulator's seeded RNG) and two
+orthogonal hooks decide what those transactions contain and when they
+arrive:
+
+* **what** — by default each transaction samples
+  ``ops_per_transaction`` operations from an :class:`OperationMix`;
+  passing a ``workload`` object (anything with the
+  ``init()``/``run()`` contract of
+  :class:`~repro.scenarios.ScenarioWorkload`) replaces the sampler with
+  user-defined transaction bodies, pgWorkload-style.  The declarative
+  :class:`~repro.scenarios.ScenarioSpec` layer compiles operation
+  mixes, zipf key skew, and arrival processes onto these same hooks —
+  see :mod:`repro.scenarios` and ``docs/SCENARIOS.md``;
+* **when** — by default the driver is a *closed loop*: a fixed pool of
+  ``concurrency`` transactions where a finished transaction is
+  immediately replaced (think time ``think_time`` per step).  Passing
+  ``arrivals`` — a non-decreasing schedule of simulated-time instants —
+  switches admission to an *open loop*: transaction ``k`` is admitted
+  only once the driver's pacing clock reaches ``arrivals[k]``, with
+  ``concurrency`` acting as an admission-backlog cap.  The pacing clock
+  advances ``think_time`` per driver step and jumps to the next arrival
+  when the pool idles, so it measures simulated time in a way that is
+  **identical across rpc modes** (the kernel clock itself is not:
+  batched quorum fan-out overlaps probe latencies, so ``sim.now``
+  diverges between ``rpc_mode="serial"`` and ``"batched"`` while
+  outcomes stay byte-identical — the same reason chaos schedules are
+  indexed by transaction boundary rather than by ``sim.now``).
+
+Neither hook perturbs seeded legacy runs: with ``workload=None`` and
+``arrivals=None`` the driver draws exactly the same RNG sequence as it
+always has, and the compiled default scenario is test-enforced
+byte-identical to it (``tests/test_scenarios.py``).
+
+Outcomes feed the :class:`~repro.sim.metrics.MetricRecorder`:
 
 * ``ok`` — the operation executed;
 * ``unavailable`` — no initial quorum could be assembled (the paper's
@@ -117,6 +150,19 @@ class WorkloadGenerator:
     #: which keeps them identical across ``rpc_mode`` variants.  Policy
     #: retries of an existing transaction do **not** re-fire the hook.
     on_transaction_start: Callable[[int], None] | None = None
+    #: Pluggable transaction source: any object with
+    #: ``run(rng) -> sequence of (object_name, invocation)`` (see the
+    #: :class:`~repro.scenarios.ScenarioWorkload` contract).  ``None``
+    #: keeps the classic sampler: ``ops_per_transaction`` draws from
+    #: ``mix``.  The built-in mix workload performs *exactly* those
+    #: draws, so compiled scenarios stay byte-identical to legacy runs.
+    workload: object | None = None
+    #: Open-loop arrival schedule: ``arrivals[k]`` is the pacing-clock
+    #: instant (simulated-time units) at which transaction ``k`` may be
+    #: admitted.  ``None`` keeps the classic closed loop.  Schedules are
+    #: precomputed from a dedicated seeded RNG
+    #: (:mod:`repro.scenarios.sampler`), never drawn from ``sim.rng``.
+    arrivals: Sequence[float] | None = None
     metrics: MetricRecorder = field(default_factory=MetricRecorder)
     waits: WaitsForGraph = field(default_factory=WaitsForGraph)
 
@@ -124,17 +170,46 @@ class WorkloadGenerator:
         """Execute the workload to completion and return the metrics."""
         if self.deadlock_policy not in ("detect", "wound-wait", "wait-die"):
             raise ValueError(f"unknown deadlock policy {self.deadlock_policy!r}")
+        arrivals = self.arrivals
+        if arrivals is not None and len(arrivals) < total_transactions:
+            raise ValueError(
+                f"arrival schedule has {len(arrivals)} instants for "
+                f"{total_transactions} transactions"
+            )
         started = 0
         pool: list[_Script] = []
         self._pool = pool
+        #: The driver's pacing clock: advances ``think_time`` per step
+        #: and jumps to the next arrival on idle — a simulated-time
+        #: measure that is identical across rpc modes (``sim.now`` is
+        #: not; see the module docstring).
+        pacing = 0.0
         stall_budget = 1000 * max(1, total_transactions)
         while started < total_transactions or pool:
-            while started < total_transactions and len(pool) < self.concurrency:
+            while (
+                started < total_transactions
+                and len(pool) < self.concurrency
+                and (arrivals is None or arrivals[started] <= pacing)
+            ):
                 if self.on_transaction_start is not None:
                     self.on_transaction_start(started)
                 pool.append(self._new_script())
                 started += 1
+            if arrivals is not None and not pool:
+                # Open loop, nothing in flight: idle both clocks forward
+                # to the next arrival (no RNG draws, no events invented).
+                gap = arrivals[started] - pacing
+                if gap > 0:
+                    pacing = arrivals[started]
+                    self.sim.advance(gap)
+                    self.sim.run(until=self.sim.now)
+                continue
             pool[:] = [s for s in pool if not self._swept(s)]
+            if not pool:
+                # Every in-flight script was swept (externally wounded);
+                # re-enter the admission gate rather than stall-hunting
+                # an empty pool.
+                continue
             runnable = [s for s in pool if self._runnable(s)]
             if not runnable:
                 # Everyone is waiting: break a deadlock-like stall by
@@ -149,6 +224,7 @@ class WorkloadGenerator:
             script = runnable[self.sim.rng.randrange(len(runnable))]
             if self._step(script):
                 pool.remove(script)
+            pacing += self.think_time
             self.sim.advance(self.think_time)
             # Dispatch background events (failure injectors, async
             # messages) that became due while we worked.
@@ -165,9 +241,13 @@ class WorkloadGenerator:
         candidates = live or list(self.frontends)
         frontend = candidates[self.sim.rng.randrange(len(candidates))]
         txn = self.tm.begin(site=frontend.site)
-        operations = [
-            self.mix.sample(self.sim.rng) for _ in range(self.ops_per_transaction)
-        ]
+        if self.workload is not None:
+            operations = list(self.workload.run(self.sim.rng))
+        else:
+            operations = [
+                self.mix.sample(self.sim.rng)
+                for _ in range(self.ops_per_transaction)
+            ]
         return _Script(
             txn=txn,
             frontend=frontend,

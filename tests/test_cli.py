@@ -186,3 +186,84 @@ class TestReportCompatibility:
     def test_unknown_subcommand_errors(self, capsys):
         with pytest.raises(SystemExit):
             cli.main(["explode"])
+
+
+class TestScenario:
+    def test_list_prints_the_catalog(self, capsys):
+        from repro.scenarios import SCENARIOS
+
+        code, out = run_cli(["scenario", "--list"], capsys)
+        assert code == 0
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_default_scenario_passes(self, capsys):
+        code, out = run_cli(["scenario", "default"], capsys)
+        assert code == 0
+        assert "verdict: PASS" in out
+        assert "audit: clean" in out
+
+    def test_json_verdict_is_loadable_and_fingerprinted(self, capsys):
+        code, out = run_cli(
+            ["scenario", "default", "--format", "json"], capsys
+        )
+        assert code == 0
+        verdict = json.loads(out)
+        assert verdict["ok"] is True
+        assert verdict["fingerprint"]["audit_ok"] is True
+        assert verdict["scenario"] == "default"
+
+    def test_chaos_crossing_from_the_cli(self, capsys):
+        code, out = run_cli(
+            [
+                "scenario",
+                "read-dominant",
+                "--mechanism",
+                "blocking",
+                "--profile",
+                "crash",
+                "--format",
+                "json",
+            ],
+            capsys,
+        )
+        assert code == 0
+        verdict = json.loads(out)
+        assert verdict["scheme"] == "dynamic"
+        assert verdict["policy"] == "default"
+        assert verdict["fingerprint"]["converged"] is True
+
+    def test_no_name_without_list_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["scenario"])
+
+    def _choices(self, parser_name, dest):
+        import argparse
+
+        parser = cli.build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        sub = subparsers.choices[parser_name]
+        action = next(a for a in sub._actions if a.dest == dest)
+        return tuple(action.choices)
+
+    def test_name_choices_match_catalog(self):
+        # The parser hardcodes its choices to stay import-light; these
+        # guards keep them in lockstep with the scenario registries.
+        from repro.scenarios import SCENARIOS
+
+        assert self._choices("scenario", "name") == tuple(sorted(SCENARIOS))
+
+    def test_mechanism_choices_match_registry(self):
+        from repro.scenarios import MECHANISMS
+
+        assert self._choices("scenario", "mechanism") == tuple(
+            sorted(MECHANISMS)
+        )
+
+    def test_profile_choices_match_chaos_profiles(self):
+        from repro.resilience.chaos import PROFILES
+
+        assert self._choices("scenario", "profile") == ("none", *PROFILES)

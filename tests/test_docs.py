@@ -21,7 +21,13 @@ ROOT = Path(__file__).resolve().parent.parent
 DOCS = ROOT / "docs"
 
 #: Guides whose ``python`` blocks must execute verbatim.
-SNIPPET_DOCS = ("KEYSPACE.md", "RESILIENCE.md", "TUNING.md", "TUTORIAL.md")
+SNIPPET_DOCS = (
+    "KEYSPACE.md",
+    "RESILIENCE.md",
+    "SCENARIOS.md",
+    "TUNING.md",
+    "TUTORIAL.md",
+)
 
 #: Documents whose links and path references are checked.
 LINKED_DOCS = tuple(sorted(DOCS.glob("*.md"))) + (ROOT / "README.md",)
@@ -99,4 +105,41 @@ def test_readme_indexes_every_guide():
     for guide in sorted(DOCS.glob("*.md")):
         assert f"docs/{guide.name}" in readme, (
             f"README.md documentation index is missing docs/{guide.name}"
+        )
+
+
+class TestScenarioDocRefs:
+    """Catalog ↔ doc drift guard for ``repro.scenarios``.
+
+    Every ``ScenarioSpec.doc_ref`` must resolve to a real anchor in
+    ``docs/SCENARIOS.md``, and every catalog scenario must appear in the
+    doc's reference table — so the doc cannot silently diverge from the
+    frozen catalog.
+    """
+
+    def test_every_doc_ref_resolves_to_a_real_anchor(self):
+        from repro.scenarios import SCENARIOS
+
+        problems = []
+        for name, spec in SCENARIOS.items():
+            path_part, _, fragment = spec.doc_ref.partition("#")
+            dest = ROOT / path_part
+            if not dest.exists():
+                problems.append(f"{name}: doc_ref file {path_part} missing")
+                continue
+            if fragment not in _anchors(dest):
+                problems.append(
+                    f"{name}: no heading in {path_part} for #{fragment}"
+                )
+        assert not problems, problems
+
+    def test_every_catalog_scenario_appears_in_the_reference_table(self):
+        from repro.scenarios import SCENARIOS
+
+        text = (DOCS / "SCENARIOS.md").read_text()
+        missing = [
+            name for name in SCENARIOS if f"`{name}`" not in text
+        ]
+        assert not missing, (
+            f"docs/SCENARIOS.md reference table is missing {missing}"
         )
